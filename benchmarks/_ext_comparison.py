@@ -1,0 +1,94 @@
+"""Shared driver for Tables IV and V (comparison with MaKEr on Ext sets)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import MaKEr, ScopedMaKEr, train_maker
+from repro.eval import evaluate_entity_prediction
+from repro.experiments import bench_settings, make_model, schema_vectors_for
+from repro.kg.hashing import stable_hash
+from repro.kg import build_ext_benchmark
+from repro.kg.benchmarks import ExtBenchmark
+
+CATEGORIES = ("u_ent", "u_rel", "u_both")
+RMPI_METHODS = ("RMPI-base", "RMPI-NE")
+
+
+def evaluate_on_categories(scorer, bench: ExtBenchmark, seed: int, num_negatives: int):
+    """MRR / Hits@10 per target category (the Table IV layout)."""
+    row: List[float] = []
+    for category in CATEGORIES:
+        targets = bench.targets[category]
+        result = evaluate_entity_prediction(
+            scorer,
+            bench.test_graph,
+            targets,
+            np.random.default_rng((seed, stable_hash(category, 0xFF))),
+            num_negatives=num_negatives,
+        )
+        row.extend([result.mrr, result.hits_at_10])
+    return row
+
+
+def run_ext_comparison(
+    family: str, use_schema_for_rmpi: bool = False
+) -> Dict[str, List[float]]:
+    """Train MaKEr and the RMPI variants on one Ext benchmark.
+
+    Returns ``{method: [u_ent MRR, u_ent H@10, u_rel ..., u_both ...]}``.
+    MaKEr always runs random-initialized (its Table V row repeats Table IV,
+    as in the paper).
+    """
+    settings = bench_settings()
+    bench = build_ext_benchmark(family, scale=settings.scale, seed=settings.seed)
+    rows: Dict[str, List[float]] = {}
+
+    maker = MaKEr(bench.num_relations, np.random.default_rng(settings.seed), embed_dim=32)
+    train_maker(
+        maker,
+        bench.train_graph,
+        bench.train_triples,
+        episodes=settings.epochs * 15,
+        seed=settings.seed,
+    )
+    rows["MaKEr"] = evaluate_on_categories(
+        ScopedMaKEr(maker, bench.seen_relations),
+        bench,
+        settings.seed,
+        settings.num_negatives,
+    )
+
+    schema_vectors: Optional[np.ndarray] = (
+        schema_vectors_for(bench.ontology, seed=settings.seed)
+        if use_schema_for_rmpi
+        else None
+    )
+    from repro.train import train_model
+
+    for method in RMPI_METHODS:
+        model = make_model(
+            method,
+            bench.num_relations,
+            seed=settings.seed,
+            schema_vectors=schema_vectors,
+        )
+        train_model(
+            model,
+            bench.train_graph,
+            bench.train_triples,
+            bench.valid_triples,
+            settings.training_config(),
+        )
+        label = method + ("+schema" if use_schema_for_rmpi else "")
+        rows[label] = evaluate_on_categories(
+            model, bench, settings.seed, settings.num_negatives
+        )
+    return rows
+
+
+EXT_HEADERS = ["method"] + [
+    f"{category}:{metric}" for category in CATEGORIES for metric in ("MRR", "Hits@10")
+]

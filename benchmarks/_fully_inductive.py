@@ -1,0 +1,75 @@
+"""Shared driver for Tables II and III (fully inductive KGC)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments import bench_settings, format_table, run_full_experiment
+from repro.kg import FULL_BENCHMARK_SPECS, build_full_benchmark
+
+METHODS = ("TACT-base", "RMPI-base", "RMPI-NE")
+METRICS = ("AUC-PR", "MRR", "Hits@10")
+
+
+def run_fully_inductive_table(setting: str) -> str:
+    """Run the full method grid for one unseen-relation setting.
+
+    ``setting`` is 'semi' (Table II) or 'fully' (Table III).  Returns the
+    rendered (a) Random Initialized and (b) Schema Enhanced tables.
+    """
+    settings = bench_settings()
+    training = settings.training_config()
+
+    benchmarks = [
+        build_full_benchmark(family, i, j, scale=settings.scale, seed=settings.seed)
+        for family, i, j in FULL_BENCHMARK_SPECS
+    ]
+
+    def rows_for(use_schema: bool) -> List[list]:
+        rows = []
+        for method in METHODS:
+            row: list = [method]
+            for bench in benchmarks:
+                # The paper evaluates Schema Enhanced on the NELL-derived
+                # benchmarks only (WN/FB have no public ontology; our FB
+                # analogue mirrors that restriction).
+                if use_schema and not bench.name.startswith("NELL"):
+                    continue
+                result = run_full_experiment(
+                    bench,
+                    method,
+                    setting,
+                    training,
+                    seed=settings.seed,
+                    use_schema=use_schema,
+                )
+                row.extend(result.metrics[m] for m in METRICS)
+            rows.append(row)
+        return rows
+
+    def headers_for(use_schema: bool) -> List[str]:
+        headers = ["method"]
+        for bench in benchmarks:
+            if use_schema and not bench.name.startswith("NELL"):
+                continue
+            headers.extend(f"{bench.name}:{m}" for m in METRICS)
+        return headers
+
+    table_number = "II" if setting == "semi" else "III"
+    part_a = format_table(
+        headers_for(False),
+        rows_for(False),
+        title=(
+            f"Table {table_number}(a): fully inductive KGC, testing with "
+            f"{setting} unseen relations — Random Initialized"
+        ),
+    )
+    part_b = format_table(
+        headers_for(True),
+        rows_for(True),
+        title=(
+            f"Table {table_number}(b): fully inductive KGC, testing with "
+            f"{setting} unseen relations — Schema Enhanced (NELL benchmarks)"
+        ),
+    )
+    return part_a + "\n\n" + part_b

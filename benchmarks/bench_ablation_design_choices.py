@@ -1,0 +1,65 @@
+"""Ablation — design choices called out in DESIGN.md / paper future work.
+
+Sweeps the RMPI design axes on one benchmark:
+
+* attention: none vs dot (paper eq. 7) vs scaled-dot (§VI future work),
+* fusion: SUM vs CONCAT vs GATED (NE variants),
+* entity clues: off vs on (§VI future work item 2).
+"""
+
+import numpy as np
+
+from repro.core import RMPI, RMPIConfig
+from repro.eval import evaluate_both
+from repro.experiments import bench_settings, format_table
+from repro.kg import build_partial_benchmark
+from repro.train import train_model
+
+SWEEPS = [
+    ("base", RMPIConfig()),
+    ("TA(dot)", RMPIConfig(use_target_attention=True, attention_kind="dot")),
+    ("TA(scaled)", RMPIConfig(use_target_attention=True, attention_kind="scaled_dot")),
+    ("NE(sum)", RMPIConfig(use_disclosing=True, fusion="sum")),
+    ("NE(concat)", RMPIConfig(use_disclosing=True, fusion="concat")),
+    ("NE(gated)", RMPIConfig(use_disclosing=True, fusion="gated")),
+    ("EC", RMPIConfig(use_entity_clues=True)),
+    ("NE+EC", RMPIConfig(use_disclosing=True, use_entity_clues=True)),
+]
+
+
+def test_ablation_design_choices(benchmark, emit):
+    settings = bench_settings()
+    training = settings.training_config()
+
+    def run():
+        bench = build_partial_benchmark(
+            "NELL-995", 2, scale=settings.scale, seed=settings.seed
+        )
+        rows = []
+        for label, config in SWEEPS:
+            model = RMPI(
+                bench.num_relations,
+                np.random.default_rng(settings.seed),
+                config,
+            )
+            train_model(
+                model, bench.train_graph, bench.train_triples, config=training
+            )
+            report = evaluate_both(
+                model,
+                bench.test_graph,
+                bench.test_triples,
+                seed=settings.seed,
+                num_negatives=settings.num_negatives,
+            )
+            metrics = report.as_dict()
+            rows.append(
+                [label, metrics["AUC-PR"], metrics["MRR"], metrics["Hits@10"]]
+            )
+        return format_table(
+            ["variant", "AUC-PR", "MRR", "Hits@10"],
+            rows,
+            title=f"Design-choice ablation on {bench.name}",
+        )
+
+    emit("ablation_design_choices", benchmark.pedantic(run, rounds=1, iterations=1))

@@ -1,0 +1,119 @@
+"""Figure 4 — case study: per-triple scores and neighborhoods.
+
+Mirrors the paper's two case studies: for a positive target triple with an
+unseen relation, print (i) its one-hop and two-hop relational neighborhoods
+and (ii) the scores assigned by TACT-base, RMPI-base, their schema-enhanced
+versions (NELL case) and RMPI-TA (FB case).  Expected shape: RMPI's
+multi-hop aggregation scores the unseen-relation positives higher than
+TACT-base's one-hop correlation; schema enhancement raises both.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    bench_settings,
+    format_table,
+    make_model,
+    schema_vectors_for,
+)
+from repro.kg import build_full_benchmark
+from repro.subgraph import (
+    build_relational_graph,
+    extract_enclosing_subgraph,
+    incoming_hops,
+)
+from repro.train import train_model
+
+
+def neighborhood_relations(graph, triple, num_hops=2):
+    """Relations at hop 1 and hop 2 of the target in relation view."""
+    sub = extract_enclosing_subgraph(graph, triple, num_hops)
+    rg = build_relational_graph(sub)
+    hops = incoming_hops(rg, num_hops)
+    one_hop = sorted({int(rg.node_relations[n]) for n, h in hops.items() if h == 1})
+    two_hop = sorted({int(rg.node_relations[n]) for n, h in hops.items() if h == 2})
+    return one_hop, two_hop
+
+
+def pick_case_triple(bench):
+    """A semi-test positive with an unseen relation and non-empty subgraph."""
+    unseen = bench.unseen_relations()
+    for triple in bench.semi_test_triples:
+        if triple[1] not in unseen:
+            continue
+        sub = extract_enclosing_subgraph(bench.semi_test_graph, triple, 2)
+        if not sub.is_empty:
+            return triple
+    return bench.semi_test_triples[0]
+
+
+def test_fig4_case_study(benchmark, emit):
+    settings = bench_settings()
+    training = settings.training_config()
+
+    def run():
+        blocks = []
+        for family, i, j, methods in (
+            (
+                "NELL-995",
+                4,
+                3,
+                (
+                    ("TACT-base", False),
+                    ("RMPI-base", False),
+                    ("TACT-base", True),
+                    ("RMPI-base", True),
+                ),
+            ),
+            (
+                "FB15k-237",
+                1,
+                4,
+                (("TACT-base", False), ("RMPI-base", False), ("RMPI-TA", False)),
+            ),
+        ):
+            bench = build_full_benchmark(
+                family, i, j, scale=settings.scale, seed=settings.seed
+            )
+            triple = pick_case_triple(bench)
+            one_hop, two_hop = neighborhood_relations(bench.semi_test_graph, triple)
+            rows = []
+            for method, use_schema in methods:
+                vectors = (
+                    schema_vectors_for(bench.ontology, seed=settings.seed)
+                    if use_schema
+                    else None
+                )
+                model = make_model(
+                    method,
+                    bench.num_relations,
+                    seed=settings.seed,
+                    schema_vectors=vectors,
+                )
+                train_model(
+                    model, bench.train_graph, bench.train_triples, config=training
+                )
+                score = float(
+                    model.score_triples(bench.semi_test_graph, [triple])[0]
+                )
+                label = method + ("+schema" if use_schema else "")
+                rows.append([label, score])
+            seen = bench.seen_relations
+            mark = lambda rels: ", ".join(
+                f"r{r}" + ("*" if r not in seen else "") for r in rels
+            )
+            header = (
+                f"{bench.name}: target triple ({triple[0]}, r{triple[1]}"
+                f"{'*' if triple[1] not in seen else ''}, {triple[2]})\n"
+                f"  1-hop neighbor relations: {mark(one_hop) or '(none)'}\n"
+                f"  2-hop neighbor relations: {mark(two_hop) or '(none)'}\n"
+                f"  (* = unseen relation)"
+            )
+            blocks.append(
+                header
+                + "\n"
+                + format_table(["model", "predicted score"], rows, float_format="{:.4f}")
+            )
+        return "\n\n".join(blocks)
+
+    emit("fig4_case_study", benchmark.pedantic(run, rounds=1, iterations=1))

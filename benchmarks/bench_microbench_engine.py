@@ -1,0 +1,85 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Not a paper table — these track the cost of the operations that dominate
+training time (subgraph extraction, line-graph transformation, plan
+compilation, one RMPI forward/backward) so performance regressions in the
+substrate are visible.
+"""
+
+import numpy as np
+
+from repro.autograd import Tensor, margin_ranking_loss, segment_softmax, segment_sum
+from repro.core import RMPI, RMPIConfig
+from repro.experiments import bench_settings
+from repro.kg import build_partial_benchmark
+from repro.subgraph import (
+    build_message_plan,
+    build_relational_graph,
+    extract_enclosing_subgraph,
+)
+
+
+def _bench_graph():
+    settings = bench_settings()
+    return build_partial_benchmark("FB15k-237", 2, scale=settings.scale, seed=settings.seed)
+
+
+def test_perf_subgraph_extraction(benchmark):
+    bench = _bench_graph()
+    triples = list(bench.train_triples)[:20]
+
+    def extract_all():
+        for triple in triples:
+            extract_enclosing_subgraph(bench.train_graph, triple, 2)
+
+    benchmark(extract_all)
+
+
+def test_perf_linegraph_and_plan(benchmark):
+    bench = _bench_graph()
+    subgraphs = [
+        extract_enclosing_subgraph(bench.train_graph, t, 2)
+        for t in list(bench.train_triples)[:20]
+    ]
+
+    def transform_all():
+        for sub in subgraphs:
+            build_message_plan(build_relational_graph(sub), 2)
+
+    benchmark(transform_all)
+
+
+def test_perf_rmpi_forward_backward(benchmark):
+    bench = _bench_graph()
+    model = RMPI(bench.num_relations, np.random.default_rng(0), RMPIConfig(dropout=0.0))
+    triples = list(bench.train_triples)[:16]
+    negatives = [(t[2], t[1], t[0]) for t in triples]
+    # Warm the sample cache so we measure compute, not extraction.
+    model.score_batch(bench.train_graph, triples)
+    model.score_batch(bench.train_graph, negatives)
+
+    def step():
+        pos = model.score_batch(bench.train_graph, triples)
+        neg = model.score_batch(bench.train_graph, negatives)
+        loss = margin_ranking_loss(pos, neg)
+        model.zero_grad()
+        loss.backward()
+
+    benchmark(step)
+
+
+def test_perf_segment_ops(benchmark):
+    rng = np.random.default_rng(0)
+    values = Tensor(rng.normal(size=(5000, 32)), requires_grad=True)
+    logits = Tensor(rng.normal(size=5000), requires_grad=True)
+    segments = rng.integers(500, size=5000)
+
+    def run():
+        alpha = segment_softmax(logits, segments, 500)
+        from repro.autograd import ops
+
+        weighted = ops.mul(values, ops.reshape(alpha, (5000, 1)))
+        out = segment_sum(weighted, segments, 500)
+        out.sum().backward()
+
+    benchmark(run)

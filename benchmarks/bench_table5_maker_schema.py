@@ -1,0 +1,23 @@
+"""Table V — MaKEr comparison on NELL-Ext with schema-enhanced RMPI.
+
+RMPI's initial relation representations are projected TransE schema
+vectors; MaKEr's row repeats its random-initialized result (as in the
+paper).  Expected shape: the schema lifts RMPI's u_rel and u_both results
+well past MaKEr.
+"""
+
+from _ext_comparison import EXT_HEADERS, run_ext_comparison
+
+from repro.experiments import format_table
+
+
+def test_table5_maker_schema(benchmark, emit):
+    def run():
+        rows = run_ext_comparison("NELL-995", use_schema_for_rmpi=True)
+        return format_table(
+            EXT_HEADERS,
+            [[name, *vals] for name, vals in rows.items()],
+            title="Table V: NELL-995-Ext (RMPI schema enhanced)",
+        )
+
+    emit("table5_maker_schema", benchmark.pedantic(run, rounds=1, iterations=1))

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper.
+Result tables are printed through ``capsys.disabled()`` so they appear in
+``pytest benchmarks/ --benchmark-only`` output, and are also written under
+``benchmarks/results/`` for the record.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a rendered table to the live terminal and archive it."""
+
+    def _emit(name: str, text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+    return _emit

@@ -1,0 +1,54 @@
+"""Quickstart: train RMPI on a partially inductive benchmark and evaluate.
+
+This walks the minimal end-to-end path of the library:
+
+1. build a synthetic inductive benchmark (training graph + testing graph
+   over disjoint entities);
+2. train RMPI-base with the paper's margin-ranking protocol;
+3. evaluate triple classification (AUC-PR) and entity prediction
+   (MRR / Hits@10) on the testing graph.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import RMPI, RMPIConfig
+from repro.eval import evaluate_both
+from repro.kg import build_partial_benchmark
+from repro.train import TrainingConfig, train_model
+
+
+def main() -> None:
+    # A scaled-down analogue of the paper's NELL-995.v2 benchmark.
+    benchmark = build_partial_benchmark("NELL-995", 2, scale=0.06, seed=0)
+    stats = benchmark.statistics()
+    print(f"Benchmark {benchmark.name}")
+    print(f"  training graph: {stats['train']}")
+    print(f"  testing graph:  {stats['test']} (disjoint entities)")
+
+    model = RMPI(
+        num_relations=benchmark.num_relations,
+        rng=np.random.default_rng(0),
+        config=RMPIConfig(embed_dim=32, num_layers=2, num_hops=2),
+    )
+    print(f"\nTraining {model.name} ({model.num_parameters()} parameters)...")
+    history = train_model(
+        model,
+        benchmark.train_graph,
+        benchmark.train_triples,
+        benchmark.valid_triples,
+        TrainingConfig(epochs=10, seed=0),
+    )
+    print(f"  loss: {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
+
+    report = evaluate_both(
+        model, benchmark.test_graph, benchmark.test_triples, seed=0
+    )
+    print("\nResults on the unseen-entity testing graph:")
+    for key, value in report.as_dict().items():
+        print(f"  {key:8s} {value:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

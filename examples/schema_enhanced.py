@@ -1,0 +1,67 @@
+"""Ontological schema injection (paper §III-D2): TransE on the schema graph.
+
+Shows the Schema Enhanced pipeline end to end:
+
+1. materialise the RDFS schema graph (subPropertyOf / domain / range /
+   subClassOf) of a NELL-like ontology — including *unseen* relations;
+2. pre-train TransE on it and inspect which relations land near each other;
+3. train schema-enhanced vs random-initialized RMPI on a fully inductive
+   benchmark and compare.
+
+Run:  python examples/schema_enhanced.py
+"""
+
+import numpy as np
+
+from repro.experiments import print_table, run_full_experiment
+from repro.kg import build_full_benchmark, family_ontology
+from repro.schema import TransEConfig, build_schema_graph, pretrain_schema_embeddings
+from repro.train import TrainingConfig
+
+
+def nearest_relations(vectors: np.ndarray, relation: int, k: int = 3):
+    distances = np.linalg.norm(vectors - vectors[relation], axis=1)
+    order = np.argsort(distances)
+    return [int(r) for r in order if r != relation][:k]
+
+
+def main() -> None:
+    ontology = family_ontology("NELL-995")
+    schema = build_schema_graph(ontology)
+    print(f"Schema graph: {schema.statistics()} "
+          f"({schema.num_relations} relations + {schema.num_concepts} concepts)")
+
+    print("\nPre-training TransE on the schema graph...")
+    vectors = pretrain_schema_embeddings(schema, TransEConfig(dim=32, epochs=100))
+
+    print("Nearest schema neighbors of a few relations "
+          "(relations sharing domain/range/hierarchy cluster together):")
+    for relation in (0, 5, ontology.num_relations - 1):
+        sig = ontology.signatures[relation]
+        neighbors = nearest_relations(vectors, relation)
+        print(f"  r{relation} (domain=c{sig.domain}, range=c{sig.range}) "
+              f"-> nearest: {['r%d' % n for n in neighbors]}")
+
+    benchmark = build_full_benchmark("NELL-995", 2, 3, scale=0.06, seed=0)
+    training = TrainingConfig(epochs=8, seed=0, max_triples_per_epoch=150)
+    print(f"\nTraining RMPI-base on {benchmark.name} "
+          f"({len(benchmark.unseen_relations())} unseen test relations)...")
+
+    rows = []
+    for use_schema in (False, True):
+        result = run_full_experiment(
+            benchmark, "RMPI-base", "fully", training, use_schema=use_schema
+        )
+        rows.append(
+            [result.model, result.metrics["AUC-PR"], result.metrics["MRR"],
+             result.metrics["Hits@10"]]
+        )
+    print_table(
+        ["method", "AUC-PR", "MRR", "Hits@10"],
+        rows,
+        title="Fully unseen relations: random init vs schema enhanced",
+    )
+
+
+if __name__ == "__main__":
+    main()

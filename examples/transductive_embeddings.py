@@ -1,0 +1,82 @@
+"""Transductive KG embeddings and pluggable schema pre-training.
+
+Two things in one example:
+
+1. train the classic transductive scorers (TransE/TransH/DistMult/ComplEx/
+   RotatE) on a single graph and compare link-prediction quality — and see
+   why none of them can handle the *inductive* setting RMPI targets;
+2. use any of them as the schema pre-training backend (§III-D2 says
+   "KG embedding techniques e.g. TransE" — the backend is a free choice).
+
+Run:  python examples/transductive_embeddings.py
+"""
+
+import numpy as np
+
+from repro.experiments import print_table
+from repro.kg import build_partial_benchmark, family_ontology
+from repro.schema import build_schema_graph
+from repro.schema.pretraining import pretrain_schema_with
+from repro.transductive import (
+    MODEL_REGISTRY,
+    TransductiveTrainingConfig,
+    create_model,
+    evaluate_link_prediction,
+    train_transductive,
+)
+
+
+def main() -> None:
+    benchmark = build_partial_benchmark("NELL-995", 2, scale=0.06, seed=0)
+    graph = benchmark.train_graph
+    held_out = benchmark.valid_triples
+    # The benchmark keeps validation targets inside the context graph (they
+    # are context for subgraph models); for a fair transductive evaluation,
+    # train the embeddings on everything *except* the held-out targets.
+    training_triples = graph.triples.difference(held_out)
+    print(f"Training graph: {graph.statistics()}")
+
+    rows = []
+    for name in sorted(MODEL_REGISTRY):
+        model = create_model(
+            name,
+            num_entities=graph.num_entities,
+            num_relations=benchmark.num_relations,
+            dim=32,
+            rng=np.random.default_rng(0),
+        )
+        train_transductive(
+            model,
+            training_triples,
+            TransductiveTrainingConfig(epochs=40, learning_rate=0.02, seed=0),
+        )
+        result = evaluate_link_prediction(
+            model, held_out, graph.triples, num_negatives=19, seed=0
+        )
+        rows.append([name, result.mrr, result.hits_at_10])
+    print_table(
+        ["model", "MRR", "Hits@10"],
+        rows,
+        title="Transductive link prediction (held-out triples, SEEN entities)",
+    )
+    print(
+        "Note: these models index entities by id — on the testing graph's\n"
+        "unseen entities they have no embeddings at all, which is exactly\n"
+        "the gap inductive methods like RMPI close.\n"
+    )
+
+    ontology = family_ontology("NELL-995")
+    schema = build_schema_graph(ontology)
+    for backend in ("TransE", "RotatE"):
+        vectors = pretrain_schema_with(
+            schema,
+            backend,
+            dim=16,
+            config=TransductiveTrainingConfig(epochs=30, seed=0),
+        )
+        print(f"schema vectors via {backend}: shape {vectors.shape}, "
+              f"norm {np.linalg.norm(vectors, axis=1).mean():.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Legacy setup shim — the offline environment lacks the `wheel` package, so
+PEP 517 editable installs fail; `setup.py develop` works with metadata drawn
+from pyproject via setuptools' beta support, declared here explicitly."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "RMPI: Relational Message Passing for Fully Inductive Knowledge "
+        "Graph Completion (ICDE 2023) — full reproduction"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy", "networkx"],
+)

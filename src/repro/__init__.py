@@ -1,0 +1,29 @@
+"""repro — a full reproduction of *Relational Message Passing for Fully
+Inductive Knowledge Graph Completion* (RMPI, ICDE 2023).
+
+Subpackages
+-----------
+``repro.autograd``
+    Numpy reverse-mode autodiff engine (the PyTorch/DGL substitute).
+``repro.kg``
+    Knowledge-graph substrate: triples, graphs, synthetic inductive
+    benchmark generation (the offline stand-in for the GraIL datasets).
+``repro.subgraph``
+    Enclosing/disclosing extraction, double-radius labeling, relation-view
+    (line-graph) transformation, Algorithm-1 pruning.
+``repro.core``
+    The RMPI model and its NE / TA variants.
+``repro.baselines``
+    GraIL, TACT(-base), CoMPILE, MaKEr.
+``repro.schema``
+    RDFS schema graphs, TransE pre-training, projection (Schema Enhanced).
+``repro.train`` / ``repro.eval`` / ``repro.experiments``
+    Trainer, evaluation protocols (AUC-PR / MRR / Hits@n), experiment
+    runner and table formatting.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import RMPI, RMPIConfig
+
+__all__ = ["RMPI", "RMPIConfig", "__version__"]

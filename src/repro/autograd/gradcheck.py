@@ -1,0 +1,65 @@
+"""Numerical gradient checking for the autograd engine.
+
+Central-difference verification that a scalar-valued function's analytic
+gradients (from :meth:`Tensor.backward`) match numerical estimates.  Used
+throughout the test suite; exposed publicly because it is the right tool
+for validating any new op contributed to the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[], Tensor],
+    parameter: Tensor,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``parameter``.
+
+    ``fn`` must recompute the forward pass from ``parameter.data`` each call.
+    """
+    grad = np.zeros_like(parameter.data)
+    flat = parameter.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = float(fn().data.reshape(-1)[0])
+        flat[i] = original - epsilon
+        minus = float(fn().data.reshape(-1)[0])
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    fn: Callable[[], Tensor],
+    parameters: Sequence[Tensor],
+    epsilon: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-4,
+) -> None:
+    """Assert analytic == numerical gradients for every parameter.
+
+    Raises ``AssertionError`` with the offending parameter index otherwise.
+    """
+    for param in parameters:
+        param.zero_grad()
+    output = fn()
+    if output.size != 1:
+        raise ValueError("check_gradients requires a scalar output")
+    output.backward()
+    for index, param in enumerate(parameters):
+        analytic = param.grad if param.grad is not None else np.zeros_like(param.data)
+        numeric = numerical_gradient(fn, param, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"gradient mismatch for parameter {index}: max abs diff {worst:.3e}"
+            )

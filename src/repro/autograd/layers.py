@@ -1,0 +1,101 @@
+"""Standard neural-network layers built on the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import init, ops
+from repro.autograd.module import Module, ModuleList, Parameter
+from repro.autograd.segment import gather
+from repro.autograd.tensor import Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` with Xavier-uniform weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, out_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out
+
+
+class Embedding(Module):
+    """A learnable lookup table of row vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator,
+        scale: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        if scale is None:
+            data = init.xavier_normal((num_embeddings, embedding_dim), rng)
+        else:
+            data = rng.normal(0.0, scale, size=(num_embeddings, embedding_dim))
+        self.weight = Parameter(data, name="embedding")
+
+    def forward(self, index) -> Tensor:
+        return gather(self.weight, np.asarray(index, dtype=np.int64))
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.rate, self._rng, training=self.training)
+
+
+class MLP(Module):
+    """A stack of Linear layers with ReLU in between."""
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        rng: np.random.Generator,
+        bias: bool = True,
+        final_activation: bool = False,
+    ) -> None:
+        super().__init__()
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.layers = ModuleList(
+            [Linear(sizes[i], sizes[i + 1], rng, bias=bias) for i in range(len(sizes) - 1)]
+        )
+        self.final_activation = final_activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            is_last = i == len(self.layers) - 1
+            if not is_last or self.final_activation:
+                x = ops.relu(x)
+        return x

@@ -1,0 +1,48 @@
+"""Loss functions used by the models.
+
+The paper trains every subgraph-reasoning model with a margin-based ranking
+loss (eq. 12): ``L = sum_i max(0, score(n_i) - score(p_i) + gamma)``.
+TransE pre-training on the schema graph uses the same loss over distance
+scores; binary cross-entropy is provided for auxiliary experiments.
+"""
+
+from __future__ import annotations
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def margin_ranking_loss(
+    positive_scores: Tensor, negative_scores: Tensor, margin: float = 10.0
+) -> Tensor:
+    """Paper eq. (12): hinge on (negative - positive + margin), summed then
+    averaged over the batch for scale-independence of batch size."""
+    positive_scores = as_tensor(positive_scores)
+    negative_scores = as_tensor(negative_scores)
+    if positive_scores.shape != negative_scores.shape:
+        raise ValueError(
+            f"score shapes differ: {positive_scores.shape} vs {negative_scores.shape}"
+        )
+    hinge = ops.maximum(
+        ops.add(ops.sub(negative_scores, positive_scores), margin), 0.0
+    )
+    return ops.mean(hinge)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically-stable BCE on raw scores: mean over elements."""
+    logits = as_tensor(logits)
+    targets = as_tensor(targets)
+    probs = ops.sigmoid(logits)
+    loss = ops.sub(
+        ops.mul(ops.mul(targets, ops.log(probs)), -1.0),
+        ops.mul(ops.sub(1.0, targets), ops.log(ops.sub(1.0, probs))),
+    )
+    return ops.mean(loss)
+
+
+def mse_loss(predictions: Tensor, targets) -> Tensor:
+    predictions = as_tensor(predictions)
+    targets = as_tensor(targets)
+    diff = ops.sub(predictions, targets)
+    return ops.mean(ops.mul(diff, diff))

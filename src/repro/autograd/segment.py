@@ -1,0 +1,126 @@
+"""Segment (scatter/gather) operations for graph neural networks.
+
+Message passing aggregates variable-size neighborhoods.  We express this with
+three primitives over a flat list of messages tagged by segment ids:
+
+* :func:`gather`         — pick rows by index (embedding lookup / broadcast
+                           node features onto edges);
+* :func:`segment_sum`    — scatter-add messages into per-node accumulators;
+* :func:`segment_softmax`— normalise attention logits within each segment.
+
+All are differentiable; ``segment_sum``'s backward is a gather and vice versa.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, as_tensor
+
+
+def _check_segment_ids(segment_ids: np.ndarray, num_rows: int) -> np.ndarray:
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.ndim != 1:
+        raise ValueError("segment_ids must be 1-D")
+    if len(segment_ids) != num_rows:
+        raise ValueError(
+            f"segment_ids length {len(segment_ids)} != number of rows {num_rows}"
+        )
+    return segment_ids
+
+
+def gather(a: Tensor, index) -> Tensor:
+    """Row gather ``a[index]`` with scatter-add backward."""
+    a = as_tensor(a)
+    index = np.asarray(index, dtype=np.int64)
+    out_data = a.data[index]
+    if not (a.requires_grad or a._backward_fn is not None):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray):
+        grad_a = np.zeros_like(a.data)
+        np.add.at(grad_a, index, grad)
+        return (grad_a,)
+
+    return Tensor(out_data, parents=(a,), backward_fn=backward)
+
+
+def segment_sum(values: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Sum rows of ``values`` into ``num_segments`` buckets.
+
+    ``out[s] = sum(values[i] for i where segment_ids[i] == s)``; empty
+    segments yield zero rows.
+    """
+    values = as_tensor(values)
+    segment_ids = _check_segment_ids(segment_ids, values.shape[0])
+    if segment_ids.size and segment_ids.max() >= num_segments:
+        raise ValueError("segment id exceeds num_segments")
+    out_shape = (num_segments,) + values.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, segment_ids, values.data)
+    if not (values.requires_grad or values._backward_fn is not None):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray):
+        return (grad[segment_ids],)
+
+    return Tensor(out_data, parents=(values,), backward_fn=backward)
+
+
+def segment_mean(values: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Mean over each segment; empty segments yield zeros."""
+    values = as_tensor(values)
+    segment_ids = _check_segment_ids(segment_ids, values.shape[0])
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)
+    summed = segment_sum(values, segment_ids, num_segments)
+    inv = (1.0 / counts).reshape((num_segments,) + (1,) * (values.ndim - 1))
+    from repro.autograd import ops
+
+    return ops.mul(summed, inv)
+
+
+def segment_max_constant(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Per-segment max computed on raw arrays (used as a stop-gradient shift)."""
+    out = np.full((num_segments,) + values.shape[1:], -np.inf)
+    np.maximum.at(out, segment_ids, values)
+    out[np.isneginf(out)] = 0.0
+    return out
+
+
+def segment_softmax(logits: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Softmax over each segment of a 1-D logits tensor.
+
+    The max-shift for numerical stability is treated as a constant
+    (the standard stop-gradient trick); the softmax Jacobian is exact.
+    """
+    logits = as_tensor(logits)
+    if logits.ndim != 1:
+        raise ValueError("segment_softmax expects 1-D logits")
+    segment_ids = _check_segment_ids(segment_ids, logits.shape[0])
+
+    shift = segment_max_constant(logits.data, segment_ids, num_segments)
+    shifted = logits.data - shift[segment_ids]
+    exps = np.exp(np.clip(shifted, -60.0, 60.0))
+    denom = np.zeros(num_segments, dtype=np.float64)
+    np.add.at(denom, segment_ids, exps)
+    denom = np.maximum(denom, 1e-12)
+    out_data = exps / denom[segment_ids]
+
+    if not (logits.requires_grad or logits._backward_fn is not None):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray):
+        # d softmax_i / d logit_j = p_i (delta_ij - p_j) within a segment.
+        weighted = grad * out_data
+        seg_dot = np.zeros(num_segments, dtype=np.float64)
+        np.add.at(seg_dot, segment_ids, weighted)
+        return (weighted - out_data * seg_dot[segment_ids],)
+
+    return Tensor(out_data, parents=(logits,), backward_fn=backward)
+
+
+def segment_count(segment_ids, num_segments: int) -> np.ndarray:
+    """Number of rows in each segment (plain numpy helper)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    return np.bincount(segment_ids, minlength=num_segments)

@@ -1,0 +1,43 @@
+"""`repro.baselines` — the methods the paper compares against.
+
+GraIL (entity-view subgraph reasoning), TACT-base / TACT (relational
+correlation), CoMPILE (communicative node-edge message passing), and MaKEr
+(meta-learning knowledge extrapolation).
+"""
+
+from repro.baselines.compile_model import CoMPILE, CoMPILESample
+from repro.baselines.grail import GraIL, GraILSample, RGCNBasisLayer
+from repro.baselines.maker import (
+    MaKEr,
+    RelationCooccurrence,
+    ScopedMaKEr,
+    relation_cooccurrence,
+    train_maker,
+)
+from repro.baselines.rules import (
+    Rule,
+    RuleBasedScorer,
+    RuleMiner,
+    mine_and_build_scorer,
+)
+from repro.baselines.tact import TACT, TACTBase, TACTSample
+
+__all__ = [
+    "GraIL",
+    "GraILSample",
+    "RGCNBasisLayer",
+    "TACT",
+    "TACTBase",
+    "TACTSample",
+    "CoMPILE",
+    "CoMPILESample",
+    "MaKEr",
+    "ScopedMaKEr",
+    "RelationCooccurrence",
+    "relation_cooccurrence",
+    "train_maker",
+    "Rule",
+    "RuleMiner",
+    "RuleBasedScorer",
+    "mine_and_build_scorer",
+]

@@ -1,0 +1,140 @@
+"""CoMPILE baseline (Mai et al., AAAI 2021; paper §IV-C1).
+
+CoMPILE strengthens entity-relation interaction with *communicative*
+message passing: edge (triple) embeddings and node (entity) embeddings
+update each other across iterations, and the final score reads the target
+edge's embedding together with the pooled subgraph.
+
+This is a faithful-in-spirit reimplementation: per iteration,
+
+* edge update:  ``e' = ReLU(W_ee e + W_eh h_head + W_et h_tail)``
+* node update:  ``h' = ReLU(W_self h + sum_incoming sigmoid(g(e')) * e')``
+
+with node features initialised from double-radius labels and edge features
+from relation embeddings — preserving CoMPILE's defining node-edge
+communication pattern while staying within this repository's engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.autograd import Embedding, Linear, Module, ModuleList, Tensor, ops
+from repro.autograd.segment import gather, segment_sum
+from repro.core.base import SubgraphScoringModel
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import Triple
+from repro.subgraph.extraction import extract_enclosing_subgraph
+from repro.subgraph.labeling import encode_labels, label_feature_dim
+
+
+@dataclass(frozen=True)
+class CoMPILESample:
+    triple: Triple
+    num_nodes: int
+    init_features: np.ndarray
+    edge_heads: np.ndarray
+    edge_relations: np.ndarray
+    edge_tails: np.ndarray
+    target_edge: int  # index of the target edge row
+    head_index: int
+    tail_index: int
+
+
+class CommunicativeLayer(Module):
+    """One round of node<->edge communicative message passing."""
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.edge_from_edge = Linear(dim, dim, rng, bias=False)
+        self.edge_from_head = Linear(dim, dim, rng, bias=False)
+        self.edge_from_tail = Linear(dim, dim, rng, bias=False)
+        self.node_self = Linear(dim, dim, rng, bias=False)
+        self.gate = Linear(dim, 1, rng)
+
+    def forward(
+        self,
+        node_features: Tensor,
+        edge_features: Tensor,
+        edge_heads: np.ndarray,
+        edge_tails: np.ndarray,
+    ) -> tuple:
+        h_head = gather(node_features, edge_heads)
+        h_tail = gather(node_features, edge_tails)
+        new_edges = ops.relu(
+            ops.add(
+                ops.add(self.edge_from_edge(edge_features), self.edge_from_head(h_head)),
+                self.edge_from_tail(h_tail),
+            )
+        )
+        gate = ops.sigmoid(self.gate(new_edges))
+        incoming = segment_sum(ops.mul(new_edges, gate), edge_tails, node_features.shape[0])
+        new_nodes = ops.relu(ops.add(self.node_self(node_features), incoming))
+        return new_nodes, new_edges
+
+
+class CoMPILE(SubgraphScoringModel):
+    """Communicative message passing over enclosing subgraphs."""
+
+    def __init__(
+        self,
+        num_relations: int,
+        rng: np.random.Generator,
+        embed_dim: int = 32,
+        num_layers: int = 2,
+        num_hops: int = 2,
+    ) -> None:
+        super().__init__()
+        self.num_relations = num_relations
+        self.num_hops = num_hops
+        self.input_proj = Linear(label_feature_dim(num_hops), embed_dim, rng)
+        self.relation_embedding = Embedding(num_relations, embed_dim, rng)
+        self.layers = ModuleList(
+            [CommunicativeLayer(embed_dim, rng) for _ in range(num_layers)]
+        )
+        self.output = Linear(2 * embed_dim, 1, rng, bias=False)
+
+    # ------------------------------------------------------------------
+    def prepare(self, graph: KnowledgeGraph, triple: Triple) -> CoMPILESample:
+        subgraph = extract_enclosing_subgraph(graph, triple, self.num_hops)
+        features, index = encode_labels(subgraph)
+        heads: List[int] = []
+        relations: List[int] = []
+        tails: List[int] = []
+        for head, rel, tail in subgraph.triples:
+            heads.append(index[head])
+            relations.append(rel)
+            tails.append(index[tail])
+        head, relation, tail = subgraph.head, subgraph.relation, subgraph.tail
+        target_edge = len(heads)
+        heads.append(index[head])
+        relations.append(relation)
+        tails.append(index[tail])
+        return CoMPILESample(
+            triple=(head, relation, tail),
+            num_nodes=len(subgraph.entities),
+            init_features=features,
+            edge_heads=np.asarray(heads, dtype=np.int64),
+            edge_relations=np.asarray(relations, dtype=np.int64),
+            edge_tails=np.asarray(tails, dtype=np.int64),
+            target_edge=target_edge,
+            head_index=index[head],
+            tail_index=index[tail],
+        )
+
+    # ------------------------------------------------------------------
+    def score_sample(self, sample: CoMPILESample) -> Tensor:
+        nodes = self.input_proj(Tensor(sample.init_features))
+        edges = self.relation_embedding(sample.edge_relations)
+        for layer in self.layers:
+            nodes, edges = layer(nodes, edges, sample.edge_heads, sample.edge_tails)
+        pooled = ops.mean(nodes, axis=0, keepdims=True)
+        target_edge = gather(edges, np.asarray([sample.target_edge]))
+        return self.output(ops.concat([pooled, target_edge], axis=1))
+
+    @property
+    def name(self) -> str:
+        return "CoMPILE"

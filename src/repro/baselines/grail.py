@@ -1,0 +1,202 @@
+"""GraIL baseline (Teru et al., ICML 2020; paper §II-B, eqs. 1–5).
+
+GraIL scores a target triple by message passing over the *entity-view*
+enclosing subgraph: entities carry double-radius structural labels, edges
+carry relations, and an R-GCN-style encoder with edge attention (gated by
+the target relation) produces entity embeddings; the score combines the
+mean-pooled subgraph representation, the target entities' embeddings, and a
+learnable target-relation embedding (eq. 4).
+
+Relation-specific transforms use basis decomposition (as in the reference
+implementation) to keep the parameter count independent of |R|.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import Embedding, Linear, Module, ModuleList, Parameter, Tensor, ops
+from repro.autograd.init import xavier_uniform
+from repro.autograd.segment import gather, segment_mean, segment_sum
+from repro.core.base import SubgraphScoringModel
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import Triple
+from repro.subgraph.extraction import extract_enclosing_subgraph
+from repro.subgraph.labeling import encode_labels, label_feature_dim
+
+
+@dataclass(frozen=True)
+class GraILSample:
+    """Entity-view enclosing subgraph, index-compressed."""
+
+    triple: Triple
+    num_nodes: int
+    init_features: np.ndarray  # (n, 2*(K+1)) double-radius one-hots
+    edge_heads: np.ndarray  # (m,) node indices
+    edge_relations: np.ndarray  # (m,) relation ids
+    edge_tails: np.ndarray  # (m,) node indices
+    head_index: int
+    tail_index: int
+
+
+class RGCNBasisLayer(Module):
+    """One R-GCN layer with basis decomposition and GraIL's edge attention."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        num_relations: int,
+        num_bases: int,
+        attn_dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.num_bases = num_bases
+        self.bases = [
+            Parameter(xavier_uniform((in_dim, out_dim), rng), name=f"basis{b}")
+            for b in range(num_bases)
+        ]
+        self.coefficients = Parameter(
+            rng.normal(0.0, 1.0 / np.sqrt(num_bases), size=(num_relations, num_bases)),
+            name="coefficients",
+        )
+        self.self_weight = Parameter(xavier_uniform((in_dim, out_dim), rng), name="W_self")
+        # Attention (eqs. 2-3): s = ReLU(A2 [h_i + h_j + ra_t + ra] + b2),
+        # alpha = sigmoid(A1 s + b1); ra are attention relation embeddings.
+        self.attn_relations = Embedding(num_relations, attn_dim, rng)
+        self.attn_hidden = Linear(2 * in_dim + 2 * attn_dim, attn_dim, rng)
+        self.attn_out = Linear(attn_dim, 1, rng)
+
+    def forward(
+        self,
+        features: Tensor,
+        edge_heads: np.ndarray,
+        edge_relations: np.ndarray,
+        edge_tails: np.ndarray,
+        target_relation: int,
+        edge_keep: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        num_nodes = features.shape[0]
+        if edge_keep is not None and len(edge_heads):
+            edge_heads = edge_heads[edge_keep]
+            edge_relations = edge_relations[edge_keep]
+            edge_tails = edge_tails[edge_keep]
+        self_part = ops.matmul(features, self.self_weight)
+        if len(edge_heads) == 0:
+            return ops.relu(self_part)
+
+        h_src = gather(features, edge_heads)
+        h_dst = gather(features, edge_tails)
+        coeff = gather(self.coefficients, edge_relations)  # (m, B)
+        message = None
+        for b, basis in enumerate(self.bases):
+            part = ops.mul(
+                ops.matmul(h_src, basis),
+                ops.reshape(gather_column(coeff, b), (len(edge_heads), 1)),
+            )
+            message = part if message is None else ops.add(message, part)
+
+        ra = self.attn_relations(edge_relations)
+        ra_t = self.attn_relations(np.full(len(edge_heads), target_relation, dtype=np.int64))
+        attn_in = ops.concat([h_src, h_dst, ra, ra_t], axis=1)
+        s = ops.relu(self.attn_hidden(attn_in))
+        alpha = ops.sigmoid(self.attn_out(s))  # (m, 1) gate, as in GraIL
+        weighted = ops.mul(message, alpha)
+        aggregated = segment_sum(weighted, edge_tails, num_nodes)
+        return ops.relu(ops.add(aggregated, self_part))
+
+
+def gather_column(tensor: Tensor, column: int) -> Tensor:
+    """Differentiable single-column slice of a 2-D tensor."""
+    n, m = tensor.shape
+    one_hot = np.zeros((m, 1))
+    one_hot[column, 0] = 1.0
+    return ops.matmul(tensor, Tensor(one_hot))
+
+
+class GraIL(SubgraphScoringModel):
+    """The GraIL model over enclosing subgraphs."""
+
+    def __init__(
+        self,
+        num_relations: int,
+        rng: np.random.Generator,
+        embed_dim: int = 32,
+        num_layers: int = 2,
+        num_hops: int = 2,
+        num_bases: int = 4,
+        attn_dim: int = 8,
+        dropout: float = 0.5,
+    ) -> None:
+        super().__init__()
+        self.num_relations = num_relations
+        self.num_hops = num_hops
+        self.dropout = dropout
+        self._rng = rng
+        in_dim = label_feature_dim(num_hops)
+        self.input_proj = Linear(in_dim, embed_dim, rng)
+        self.layers = ModuleList(
+            [
+                RGCNBasisLayer(embed_dim, embed_dim, num_relations, num_bases, attn_dim, rng)
+                for _ in range(num_layers)
+            ]
+        )
+        self.relation_embedding = Embedding(num_relations, embed_dim, rng)
+        self.output = Linear(4 * embed_dim, 1, rng, bias=False)
+
+    # ------------------------------------------------------------------
+    def prepare(self, graph: KnowledgeGraph, triple: Triple) -> GraILSample:
+        subgraph = extract_enclosing_subgraph(graph, triple, self.num_hops)
+        features, index = encode_labels(subgraph)
+        heads: List[int] = []
+        relations: List[int] = []
+        tails: List[int] = []
+        for head, rel, tail in subgraph.triples:
+            heads.append(index[head])
+            relations.append(rel)
+            tails.append(index[tail])
+        # GraIL adds the target edge back so the two targets are connected.
+        head, relation, tail = subgraph.head, subgraph.relation, subgraph.tail
+        heads.append(index[head])
+        relations.append(relation)
+        tails.append(index[tail])
+        return GraILSample(
+            triple=(head, relation, tail),
+            num_nodes=len(subgraph.entities),
+            init_features=features,
+            edge_heads=np.asarray(heads, dtype=np.int64),
+            edge_relations=np.asarray(relations, dtype=np.int64),
+            edge_tails=np.asarray(tails, dtype=np.int64),
+            head_index=index[head],
+            tail_index=index[tail],
+        )
+
+    # ------------------------------------------------------------------
+    def score_sample(self, sample: GraILSample) -> Tensor:
+        features = self.input_proj(Tensor(sample.init_features))
+        for layer in self.layers:
+            edge_keep = None
+            if self.training and self.dropout > 0.0 and len(sample.edge_heads):
+                edge_keep = self._rng.random(len(sample.edge_heads)) >= self.dropout
+            features = layer(
+                features,
+                sample.edge_heads,
+                sample.edge_relations,
+                sample.edge_tails,
+                target_relation=sample.triple[1],
+                edge_keep=edge_keep,
+            )
+        pooled = ops.mean(features, axis=0, keepdims=True)
+        h_u = gather(features, np.asarray([sample.head_index]))
+        h_v = gather(features, np.asarray([sample.tail_index]))
+        r_t = self.relation_embedding(np.asarray([sample.triple[1]]))
+        combined = ops.concat([pooled, h_u, h_v, r_t], axis=1)
+        return self.output(combined)
+
+    @property
+    def name(self) -> str:
+        return "GraIL"

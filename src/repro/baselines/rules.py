@@ -1,0 +1,209 @@
+"""Statistical rule-mining baseline (the paper's §I / §V-B lineage).
+
+GraIL's predecessors induce entity-independent logical rules from the
+training graph "in statistical manners" (RuleN / AnyBURL style); the paper
+omits them from its tables because GraIL already dominates them, but they
+complete the method lineage and give an interpretable reference point.
+
+:class:`RuleMiner` mines three Horn-rule shapes over relations:
+
+* equivalence: ``head(x, y) <- body(x, y)``
+* inversion:   ``head(x, y) <- body(y, x)``
+* composition: ``head(x, y) <- b1(x, z) & b2(z, y)``
+
+each scored by its confidence ``support / body_count`` (with Laplace
+smoothing).  :class:`RuleBasedScorer` scores a candidate triple by
+noisy-or over the confidences of rules whose bodies match in the context
+graph — fully entity-independent, hence inductive over entities (but, like
+GraIL, unable to handle unseen head relations: no rule mentions them).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import Triple, TripleSet
+
+EQUIVALENCE = "equivalence"
+INVERSION = "inversion"
+COMPOSITION = "composition"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A mined Horn rule with its empirical confidence."""
+
+    kind: str
+    head: int
+    body: Tuple[int, ...]
+    support: int
+    body_count: int
+    confidence: float
+
+    def describe(self) -> str:
+        if self.kind == EQUIVALENCE:
+            pattern = f"r{self.head}(x,y) <- r{self.body[0]}(x,y)"
+        elif self.kind == INVERSION:
+            pattern = f"r{self.head}(x,y) <- r{self.body[0]}(y,x)"
+        else:
+            pattern = (
+                f"r{self.head}(x,y) <- r{self.body[0]}(x,z) & r{self.body[1]}(z,y)"
+            )
+        return f"{pattern}  [conf={self.confidence:.3f}, support={self.support}]"
+
+
+class RuleMiner:
+    """Mine rules from a training graph.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum number of body instances also satisfying the head.
+    min_confidence:
+        Minimum smoothed confidence to keep a rule.
+    max_composition_bodies:
+        Cap on the (body1, body2) pairs examined per head relation, for
+        graphs with many relations.
+    """
+
+    def __init__(
+        self,
+        min_support: int = 2,
+        min_confidence: float = 0.1,
+        laplace: float = 1.0,
+    ) -> None:
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.laplace = laplace
+
+    # ------------------------------------------------------------------
+    def mine(self, graph: KnowledgeGraph) -> List[Rule]:
+        """Return all rules meeting the support/confidence thresholds."""
+        facts: Set[Triple] = set(graph.triples)
+        pairs_of: Dict[int, Set[Tuple[int, int]]] = defaultdict(set)
+        tails_of: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for head, rel, tail in facts:
+            pairs_of[rel].add((head, tail))
+            tails_of[(rel, head)].append(tail)
+
+        relations = sorted(pairs_of)
+        rules: List[Rule] = []
+
+        # Equivalence and inversion rules: pair overlap counting.
+        for body in relations:
+            body_pairs = pairs_of[body]
+            inverse_pairs = {(t, h) for h, t in body_pairs}
+            for head in relations:
+                if head == body:
+                    continue
+                head_pairs = pairs_of[head]
+                for kind, candidate_pairs in (
+                    (EQUIVALENCE, body_pairs),
+                    (INVERSION, inverse_pairs),
+                ):
+                    support = len(candidate_pairs & head_pairs)
+                    body_count = len(candidate_pairs)
+                    confidence = support / (body_count + self.laplace)
+                    if support >= self.min_support and confidence >= self.min_confidence:
+                        rules.append(
+                            Rule(kind, head, (body,), support, body_count, confidence)
+                        )
+
+        # Composition rules: join body1 and body2 on the middle entity.
+        joined: Dict[Tuple[int, int], Set[Tuple[int, int]]] = defaultdict(set)
+        for (rel1, x), mids in (
+            ((rel, h), tails_of[(rel, h)]) for (rel, h) in tails_of
+        ):
+            for mid in mids:
+                for rel2 in graph.relations_of(mid):
+                    for y in tails_of.get((rel2, mid), ()):
+                        if x != y:
+                            joined[(rel1, rel2)].add((x, y))
+        for (body1, body2), body_pairs in joined.items():
+            for head in relations:
+                support = len(body_pairs & pairs_of[head])
+                confidence = support / (len(body_pairs) + self.laplace)
+                if support >= self.min_support and confidence >= self.min_confidence:
+                    rules.append(
+                        Rule(
+                            COMPOSITION,
+                            head,
+                            (body1, body2),
+                            support,
+                            len(body_pairs),
+                            confidence,
+                        )
+                    )
+
+        rules.sort(key=lambda r: (-r.confidence, -r.support, r.head))
+        return rules
+
+
+class RuleBasedScorer:
+    """Score triples by noisy-or over matched rule confidences.
+
+    Satisfies the :class:`~repro.eval.protocol.TripleScorer` protocol so it
+    plugs into the standard evaluation pipeline.
+    """
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+        self._by_head: Dict[int, List[Rule]] = defaultdict(list)
+        for rule in self.rules:
+            self._by_head[rule.head].append(rule)
+
+    # ------------------------------------------------------------------
+    def _matched_confidences(
+        self, graph: KnowledgeGraph, triple: Triple
+    ) -> List[float]:
+        head_entity, relation, tail_entity = triple
+        confidences: List[float] = []
+        for rule in self._by_head.get(relation, ()):
+            if rule.kind == EQUIVALENCE:
+                matched = rule.body[0] in graph.entity_pair_relations(
+                    head_entity, tail_entity
+                )
+            elif rule.kind == INVERSION:
+                matched = rule.body[0] in graph.entity_pair_relations(
+                    tail_entity, head_entity
+                )
+            else:
+                body1, body2 = rule.body
+                matched = False
+                for edge_index in graph.incident_edges(head_entity):
+                    h, r, mid = graph.triples[edge_index]
+                    if h != head_entity or r != body1:
+                        continue
+                    if body2 in graph.entity_pair_relations(mid, tail_entity):
+                        matched = True
+                        break
+            if matched:
+                confidences.append(rule.confidence)
+        return confidences
+
+    def score_triples(
+        self, graph: KnowledgeGraph, triples: Sequence[Triple]
+    ) -> np.ndarray:
+        scores = []
+        for triple in triples:
+            confidences = self._matched_confidences(graph, triple)
+            miss = 1.0
+            for confidence in confidences:
+                miss *= 1.0 - confidence
+            scores.append(1.0 - miss)
+        return np.asarray(scores, dtype=np.float64)
+
+
+def mine_and_build_scorer(
+    graph: KnowledgeGraph,
+    min_support: int = 2,
+    min_confidence: float = 0.1,
+) -> RuleBasedScorer:
+    """Convenience: mine rules from ``graph`` and wrap them in a scorer."""
+    miner = RuleMiner(min_support=min_support, min_confidence=min_confidence)
+    return RuleBasedScorer(miner.mine(graph))

@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``stats``   — print statistics of a benchmark (Table I style + analysis).
+``run``     — train one model on one benchmark and print metrics.
+``full``    — fully inductive run (semi/fully unseen relations).
+``models``  — list available model names.
+
+Examples::
+
+    python -m repro.cli stats --family NELL-995 --version 2
+    python -m repro.cli run --family WN18RR --version 1 --model RMPI-NE --epochs 8
+    python -m repro.cli full --family NELL-995 --train-version 1 \
+        --test-version 3 --model RMPI-NE --setting fully --schema
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import (
+    MODEL_NAMES,
+    format_table,
+    run_experiment,
+    run_full_experiment,
+)
+from repro.kg import build_full_benchmark, build_partial_benchmark
+from repro.kg.analysis import characterise
+from repro.train import TrainingConfig
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", default="NELL-995", choices=["WN18RR", "FB15k-237", "NELL-995"])
+    parser.add_argument("--scale", type=float, default=0.06, help="dataset size multiplier")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_training(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="RMPI-base", choices=list(MODEL_NAMES))
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--max-triples", type=int, default=200)
+    parser.add_argument("--schema", action="store_true", help="schema-enhanced initialisation")
+    parser.add_argument("--fusion", default="sum", choices=["sum", "concat", "gated"])
+    parser.add_argument("--negatives", type=int, default=49, help="ranking negatives")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="print benchmark statistics")
+    _add_common(stats)
+    stats.add_argument("--version", type=int, default=1, choices=[1, 2, 3, 4])
+
+    run = sub.add_parser("run", help="partially inductive experiment")
+    _add_common(run)
+    run.add_argument("--version", type=int, default=1, choices=[1, 2, 3, 4])
+    _add_training(run)
+
+    full = sub.add_parser("full", help="fully inductive experiment")
+    _add_common(full)
+    full.add_argument("--train-version", type=int, default=1, choices=[1, 2, 3, 4])
+    full.add_argument("--test-version", type=int, default=3, choices=[1, 2, 3, 4])
+    full.add_argument("--setting", default="semi", choices=["semi", "fully"])
+    _add_training(full)
+
+    sub.add_parser("models", help="list model names")
+    return parser
+
+
+def cmd_stats(args: argparse.Namespace) -> str:
+    benchmark = build_partial_benchmark(args.family, args.version, args.scale, args.seed)
+    stats = benchmark.statistics()
+    rows = [
+        ["train", stats["train"]["relations"], stats["train"]["entities"], stats["train"]["triples"]],
+        ["test", stats["test"]["relations"], stats["test"]["entities"], stats["test"]["triples"]],
+    ]
+    table = format_table(["graph", "#R", "#E", "#T"], rows, title=benchmark.name)
+    analysis = characterise(benchmark.train_graph)
+    lines = [table, "", "training graph analysis:"]
+    lines += [f"  {key}: {value:.3f}" for key, value in analysis.items()]
+    return "\n".join(lines)
+
+
+def cmd_run(args: argparse.Namespace) -> str:
+    benchmark = build_partial_benchmark(args.family, args.version, args.scale, args.seed)
+    result = run_experiment(
+        benchmark,
+        args.model,
+        TrainingConfig(
+            epochs=args.epochs, seed=args.seed, max_triples_per_epoch=args.max_triples
+        ),
+        seed=args.seed,
+        use_schema=args.schema,
+        fusion=args.fusion,
+        num_negatives=args.negatives,
+    )
+    rows = [[key, value] for key, value in result.metrics.items()]
+    return format_table(["metric", "value"], rows, title=f"{result.model} on {result.benchmark}")
+
+
+def cmd_full(args: argparse.Namespace) -> str:
+    benchmark = build_full_benchmark(
+        args.family, args.train_version, args.test_version, args.scale, args.seed
+    )
+    result = run_full_experiment(
+        benchmark,
+        args.model,
+        args.setting,
+        TrainingConfig(
+            epochs=args.epochs, seed=args.seed, max_triples_per_epoch=args.max_triples
+        ),
+        seed=args.seed,
+        use_schema=args.schema,
+        fusion=args.fusion,
+    )
+    rows = [[key, value] for key, value in result.metrics.items()]
+    return format_table(["metric", "value"], rows, title=f"{result.model} on {result.benchmark}")
+
+
+def cmd_models(_args: argparse.Namespace) -> str:
+    return "\n".join(MODEL_NAMES)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "stats": cmd_stats,
+        "run": cmd_run,
+        "full": cmd_full,
+        "models": cmd_models,
+    }
+    print(handlers[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

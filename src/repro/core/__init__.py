@@ -1,0 +1,24 @@
+"""`repro.core` — the RMPI model (the paper's primary contribution)."""
+
+from repro.core.base import SubgraphScoringModel
+from repro.core.batching import BatchedPlan, merge_plans
+from repro.core.config import RMPIConfig
+from repro.core.disclosing import DisclosingAggregator
+from repro.core.embeddings import RandomInitEmbedding, SchemaInitEmbedding
+from repro.core.layers import RelationalMessagePassingLayer
+from repro.core.model import RMPI, RMPISample
+from repro.core.scoring import ScoringHead
+
+__all__ = [
+    "RMPI",
+    "RMPISample",
+    "RMPIConfig",
+    "SubgraphScoringModel",
+    "RelationalMessagePassingLayer",
+    "DisclosingAggregator",
+    "ScoringHead",
+    "RandomInitEmbedding",
+    "SchemaInitEmbedding",
+    "BatchedPlan",
+    "merge_plans",
+]

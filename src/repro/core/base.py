@@ -1,0 +1,86 @@
+"""Shared machinery for subgraph-scoring models.
+
+Every model in this repository (RMPI variants, GraIL, TACT, CoMPILE) scores
+a candidate triple from a subgraph extracted around it.  This module gives
+them a common API:
+
+* ``prepare(graph, triple)``      — model-specific sample construction
+  (extraction, transformation, plan compilation), memoised per
+  ``(graph, triple)`` because training revisits the same positives across
+  epochs;
+* ``score_sample(sample)``        — differentiable scoring of one sample;
+* ``score_batch(graph, triples)`` — stacked scores as a 1-D tensor;
+* ``score_triples(graph, triples)`` — plain ``np.ndarray`` scores in eval
+  mode (the evaluation protocols' entry point).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import Module, Tensor, ops
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import Triple
+
+
+class SubgraphScoringModel(Module):
+    """Base class: memoised prepare + batch scoring over subgraph samples."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sample_cache: Dict[Tuple[int, Triple], Any] = {}
+        self._cached_graphs: Dict[int, KnowledgeGraph] = {}
+
+    # ------------------------------------------------------------------
+    def prepare(self, graph: KnowledgeGraph, triple: Triple) -> Any:
+        """Build the model-specific sample for ``triple`` in ``graph``."""
+        raise NotImplementedError
+
+    def score_sample(self, sample: Any) -> Tensor:
+        """Differentiable score of one prepared sample, shape ``(1, 1)``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def prepared(self, graph: KnowledgeGraph, triple: Triple) -> Any:
+        """Memoised :meth:`prepare` (keyed on graph identity + triple)."""
+        key = (id(graph), tuple(int(x) for x in triple))
+        sample = self._sample_cache.get(key)
+        if sample is None:
+            sample = self.prepare(graph, triple)
+            self._sample_cache[key] = sample
+            # Keep the graph alive so id() keys stay unambiguous.
+            self._cached_graphs[id(graph)] = graph
+        return sample
+
+    def clear_cache(self) -> None:
+        self._sample_cache.clear()
+        self._cached_graphs.clear()
+
+    def cache_size(self) -> int:
+        return len(self._sample_cache)
+
+    # ------------------------------------------------------------------
+    def score_batch(self, graph: KnowledgeGraph, triples: Sequence[Triple]) -> Tensor:
+        """Differentiable scores for a batch, shape ``(n, 1)``."""
+        scores: List[Tensor] = [
+            self.score_sample(self.prepared(graph, triple)) for triple in triples
+        ]
+        if len(scores) == 1:
+            return scores[0]
+        return ops.concat(scores, axis=0)
+
+    def score_triples(self, graph: KnowledgeGraph, triples: Sequence[Triple]) -> np.ndarray:
+        """Numpy scores in eval mode (no dropout, no graph recording)."""
+        was_training = self.training
+        self.eval()
+        try:
+            values = [
+                float(self.score_sample(self.prepared(graph, triple)).data.reshape(-1)[0])
+                for triple in triples
+            ]
+        finally:
+            if was_training:
+                self.train()
+        return np.asarray(values, dtype=np.float64)

@@ -1,0 +1,80 @@
+"""Configuration for RMPI models (paper §IV-B defaults, scaled)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RMPIConfig:
+    """Hyper-parameters of the relational message passing network.
+
+    Paper defaults: 2-hop subgraphs, two message-passing layers, relation
+    embedding size 32, edge dropout 0.5, margin 10, Adam lr 1e-3, batch 16.
+
+    Attributes
+    ----------
+    embed_dim:
+        Relation embedding size.
+    num_layers:
+        Number of message passing layers on the enclosing subgraph.
+    num_hops:
+        K for K-hop subgraph extraction.
+    use_disclosing:
+        The NE variant — aggregate the disclosing subgraph's one-hop
+        neighborhood to handle empty enclosing subgraphs (§III-F).
+    use_target_attention:
+        The TA variant — target-relation-aware neighborhood attention
+        (eq. 7) instead of mean aggregation.
+    fusion:
+        'sum' (eq. 15) or 'concat' (eq. 16) for combining enclosing and
+        disclosing representations, or 'gated' — a learned convex gate
+        between the two (an extension along the paper's future-work item
+        of "more robust fusion functions", §IV-F2).
+    dropout:
+        Edge-message dropout rate during training.
+    attention_kind:
+        'dot' — the paper's eq. 7 dot-product attention; 'scaled_dot' —
+        dot-product scaled by 1/sqrt(dim), an extension along the paper's
+        future-work item of "more robust mechanisms for TA" (§IV-F1).
+    use_entity_clues:
+        Extension along future-work item 2 (§VI): augment the score with a
+        projected summary of the enclosing subgraph's double-radius entity
+        labels, re-injecting entity-side structural evidence.
+    """
+
+    embed_dim: int = 32
+    num_layers: int = 2
+    num_hops: int = 2
+    use_disclosing: bool = False
+    use_target_attention: bool = False
+    fusion: str = "sum"
+    dropout: float = 0.5
+    attention_kind: str = "dot"
+    use_entity_clues: bool = False
+
+    def __post_init__(self) -> None:
+        if self.fusion not in ("sum", "concat", "gated"):
+            raise ValueError(
+                f"fusion must be 'sum', 'concat' or 'gated', got {self.fusion!r}"
+            )
+        if self.attention_kind not in ("dot", "scaled_dot"):
+            raise ValueError(
+                f"attention_kind must be 'dot' or 'scaled_dot', got {self.attention_kind!r}"
+            )
+        if self.num_layers < 1:
+            raise ValueError("need at least one message passing layer")
+        if self.num_hops < 1:
+            raise ValueError("need at least one hop")
+
+    @property
+    def variant_name(self) -> str:
+        """Paper-style variant label, e.g. 'RMPI-NE-TA'."""
+        suffix = ""
+        if self.use_disclosing:
+            suffix += "-NE"
+        if self.use_target_attention:
+            suffix += "-TA"
+        if self.use_entity_clues:
+            suffix += "-EC"
+        return f"RMPI{suffix or '-base'}"

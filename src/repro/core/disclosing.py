@@ -1,0 +1,55 @@
+"""Disclosing-subgraph neighborhood aggregation — the NE module (§III-F).
+
+When a target triple's enclosing subgraph is empty, nothing flows to the
+target relation node.  The NE module aggregates the *one-hop* neighbors of
+the target relation in the disclosing (union) subgraph with an attention
+mechanism (eqs. 13–14): every neighbor's initial embedding is transformed by
+a shared ``W_d``, attention weights come from dot-product similarity with
+the transformed target embedding, and the weighted sum passes through ReLU.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd import Module, Tensor, ops
+from repro.autograd.init import xavier_uniform
+from repro.autograd.module import Parameter
+from repro.autograd.segment import segment_softmax, segment_sum
+
+
+class DisclosingAggregator(Module):
+    """Attentive one-hop aggregation over disclosing-subgraph relations."""
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.dim = dim
+        self.weight = Parameter(xavier_uniform((dim, dim), rng), name="W_d")
+
+    def forward(self, neighbor_embeddings: Tensor, target_embedding: Tensor) -> Tensor:
+        """Aggregate ``h^d`` (eq. 13).
+
+        Parameters
+        ----------
+        neighbor_embeddings:
+            ``(n, dim)`` initial embeddings of the target's disclosing
+            one-hop neighbor relations (n may be 0).
+        target_embedding:
+            ``(1, dim)`` initial embedding of the target relation.
+
+        Returns a ``(1, dim)`` tensor; zeros when there are no neighbors.
+        """
+        if neighbor_embeddings.shape[0] == 0:
+            return Tensor(np.zeros((1, self.dim)))
+        transformed = ops.matmul(neighbor_embeddings, self.weight)  # W_d h0_ri
+        target_proj = ops.matmul(target_embedding, self.weight)  # W_d h0_rt
+        logits = ops.leaky_relu(
+            ops.sum(ops.mul(transformed, target_proj), axis=1), negative_slope=0.2
+        )
+        n = neighbor_embeddings.shape[0]
+        alpha = segment_softmax(logits, np.zeros(n, dtype=np.int64), 1)
+        weighted = ops.mul(transformed, ops.reshape(alpha, (n, 1)))
+        pooled = segment_sum(weighted, np.zeros(n, dtype=np.int64), 1)
+        return ops.relu(pooled)

@@ -1,0 +1,48 @@
+"""Relation embedding providers: the two unseen-relation settings (§IV-D).
+
+* :class:`RandomInitEmbedding` — a learnable table over the *global*
+  relation id space.  Rows for relations absent from the training graph
+  never receive gradient, so at test time an unseen relation is represented
+  by its (frozen) random initialisation — exactly the paper's *Random
+  Initialized* setting; its useful representation must then be built by
+  aggregating neighboring seen relations.
+* :class:`SchemaInitEmbedding` — the *Schema Enhanced* setting: initial
+  representations are projections (eq. 10) of TransE vectors pre-trained on
+  the schema graph, which covers seen and unseen relations alike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Module, Tensor
+from repro.schema.projection import SchemaProjection
+
+
+class RandomInitEmbedding(Module):
+    """Learnable relation embeddings over the global relation id space."""
+
+    def __init__(self, num_relations: int, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.table = Embedding(num_relations, dim, rng)
+        self.dim = dim
+
+    def forward(self, relation_ids) -> Tensor:
+        return self.table(relation_ids)
+
+
+class SchemaInitEmbedding(Module):
+    """Schema-projected relation embeddings (paper eq. 10)."""
+
+    def __init__(
+        self,
+        schema_vectors: np.ndarray,
+        dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.projection = SchemaProjection(schema_vectors, dim, rng)
+        self.dim = dim
+
+    def forward(self, relation_ids) -> Tensor:
+        return self.projection(relation_ids)

@@ -1,0 +1,68 @@
+"""Triple scoring heads (paper eqs. 11, 15, 16 + extensions).
+
+Base: ``score = W h^K_rt`` (eq. 11).  With the NE module the enclosing and
+disclosing representations are fused by
+
+* ``sum``    — eq. 15;
+* ``concat`` — eq. 16, through an extra linear map ``W3``;
+* ``gated``  — a learned convex combination ``g*h + (1-g)*h_d`` with
+  ``g = sigmoid(W_g [h ⊕ h_d])`` (extension, see §IV-F2's call for more
+  robust fusion functions).
+
+With ``clue_dim > 0`` the head additionally accepts an entity-clue vector
+(a summary of the enclosing subgraph's double-radius labels) projected into
+the scoring space — the paper's future-work item 2 (§VI).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Linear, Module, Tensor, ops
+
+
+class ScoringHead(Module):
+    """Linear scorer over the target relation representation."""
+
+    def __init__(
+        self,
+        dim: int,
+        rng: np.random.Generator,
+        fusion: str = "sum",
+        use_disclosing: bool = False,
+        clue_dim: int = 0,
+    ) -> None:
+        super().__init__()
+        if fusion not in ("sum", "concat", "gated"):
+            raise ValueError(f"unknown fusion {fusion!r}")
+        self.fusion = fusion
+        self.use_disclosing = use_disclosing
+        self.output = Linear(dim, 1, rng, bias=False)
+        self.merge = Linear(2 * dim, dim, rng, bias=False) if fusion == "concat" else None
+        self.gate = Linear(2 * dim, dim, rng) if fusion == "gated" else None
+        self.clue_proj = Linear(clue_dim, dim, rng, bias=False) if clue_dim > 0 else None
+
+    def forward(
+        self,
+        enclosing: Tensor,
+        disclosing: Optional[Tensor] = None,
+        entity_clue: Optional[Tensor] = None,
+    ) -> Tensor:
+        """Score from ``(1, dim)`` representations; returns a ``(1, 1)`` tensor."""
+        fused = enclosing
+        if self.use_disclosing and disclosing is not None:
+            if self.fusion == "sum":
+                fused = ops.add(enclosing, disclosing)
+            elif self.fusion == "concat":
+                fused = self.merge(ops.concat([enclosing, disclosing], axis=1))
+            else:  # gated
+                gate = ops.sigmoid(self.gate(ops.concat([enclosing, disclosing], axis=1)))
+                fused = ops.add(
+                    ops.mul(gate, enclosing),
+                    ops.mul(ops.sub(1.0, gate), disclosing),
+                )
+        if self.clue_proj is not None and entity_clue is not None:
+            fused = ops.add(fused, self.clue_proj(entity_clue))
+        return self.output(fused)

@@ -1,0 +1,34 @@
+"""`repro.eval` — metrics and evaluation protocols."""
+
+from repro.eval.metrics import average_precision, hits_at, mrr, rank_of_first
+from repro.eval.protocol import (
+    ClassificationResult,
+    EvaluationReport,
+    RankingResult,
+    evaluate_both,
+    evaluate_entity_prediction,
+    evaluate_triple_classification,
+)
+from repro.eval.splits import (
+    categorize_ext_targets,
+    categorize_ext_triple,
+    seen_relation_triples,
+    unseen_relation_triples,
+)
+
+__all__ = [
+    "average_precision",
+    "rank_of_first",
+    "mrr",
+    "hits_at",
+    "ClassificationResult",
+    "RankingResult",
+    "EvaluationReport",
+    "evaluate_triple_classification",
+    "evaluate_entity_prediction",
+    "evaluate_both",
+    "unseen_relation_triples",
+    "seen_relation_triples",
+    "categorize_ext_triple",
+    "categorize_ext_targets",
+]

@@ -1,0 +1,67 @@
+"""Evaluation metrics (paper §IV-B).
+
+* **AUC-PR** — area under the precision-recall curve, computed as average
+  precision (the standard step-wise interpolation-free estimator), for
+  triple classification;
+* **MRR** and **Hits@n** over ranks, for entity prediction.
+
+Ranks are computed with *mean tie-breaking* (ties share the average rank),
+avoiding the optimistic-rank artefact of models emitting constant scores.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def average_precision(labels: Sequence[int], scores: Sequence[float]) -> float:
+    """AUC-PR as average precision.
+
+    ``AP = sum_k P(k) * [label_k == 1] / num_positives`` with candidates
+    sorted by descending score (ties broken by stable order).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must be the same length")
+    num_positives = int(labels.sum())
+    if num_positives == 0:
+        return 0.0
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    cumulative_hits = np.cumsum(sorted_labels)
+    precision_at_k = cumulative_hits / np.arange(1, len(labels) + 1)
+    return float((precision_at_k * sorted_labels).sum() / num_positives)
+
+
+def rank_of_first(scores: Sequence[float]) -> float:
+    """Rank of the candidate at index 0 among ``scores`` (mean ties).
+
+    The evaluation protocols put the ground truth first in each candidate
+    list; rank 1 is best.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if len(scores) == 0:
+        raise ValueError("empty candidate list")
+    target = scores[0]
+    better = int((scores > target).sum())
+    ties = int((scores == target).sum())  # includes the target itself
+    return better + (ties + 1) / 2.0
+
+
+def mrr(ranks: Iterable[float]) -> float:
+    """Mean reciprocal rank, in percent (paper convention)."""
+    ranks = np.asarray(list(ranks), dtype=np.float64)
+    if len(ranks) == 0:
+        return 0.0
+    return float((1.0 / ranks).mean() * 100.0)
+
+
+def hits_at(ranks: Iterable[float], n: int = 10) -> float:
+    """Fraction of ranks <= n, in percent."""
+    ranks = np.asarray(list(ranks), dtype=np.float64)
+    if len(ranks) == 0:
+        return 0.0
+    return float((ranks <= n).mean() * 100.0)

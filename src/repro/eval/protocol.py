@@ -1,0 +1,160 @@
+"""Evaluation protocols (paper §IV-B).
+
+* **Triple classification**: one uniformly corrupted negative per test
+  positive; AUC-PR over the pooled scores.
+* **Entity prediction**: rank the ground-truth entity against 49 randomly
+  sampled candidate corruptions of the head *or* tail; report MRR and
+  Hits@10 (both in percent).
+
+Both protocols restrict corruption entities to the *testing graph's* entity
+set and filter corruptions that collide with known facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.eval.metrics import average_precision, hits_at, mrr, rank_of_first
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.sampling import negative_triples, ranking_candidates
+from repro.kg.triples import Triple, TripleSet
+
+
+class TripleScorer(Protocol):
+    """Anything that can score triples against a context graph."""
+
+    def score_triples(
+        self, graph: KnowledgeGraph, triples: Sequence[Triple]
+    ) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    auc_pr: float
+    num_positives: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"AUC-PR": self.auc_pr}
+
+
+@dataclass(frozen=True)
+class RankingResult:
+    mrr: float
+    hits_at_10: float
+    hits_at_1: float
+    num_queries: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"MRR": self.mrr, "Hits@10": self.hits_at_10, "Hits@1": self.hits_at_1}
+
+
+def _candidate_entities(graph: KnowledgeGraph, targets: TripleSet) -> List[int]:
+    entities = graph.triples.entities() | targets.entities()
+    return sorted(entities)
+
+
+def _known_facts(graph: KnowledgeGraph, targets: TripleSet) -> set:
+    return set(graph.triples) | set(targets)
+
+
+def evaluate_triple_classification(
+    model: TripleScorer,
+    graph: KnowledgeGraph,
+    targets: TripleSet,
+    rng: np.random.Generator,
+) -> ClassificationResult:
+    """AUC-PR with one sampled negative per positive (paper protocol)."""
+    positives = list(targets)
+    if not positives:
+        raise ValueError("no test triples")
+    candidates = _candidate_entities(graph, targets)
+    known = _known_facts(graph, targets)
+    negatives = negative_triples(
+        targets,
+        num_entities=graph.num_entities,
+        rng=rng,
+        known=known,
+        candidate_entities=candidates,
+    )
+    pos_scores = model.score_triples(graph, positives)
+    neg_scores = model.score_triples(graph, negatives)
+    labels = [1] * len(positives) + [0] * len(negatives)
+    scores = np.concatenate([pos_scores, neg_scores])
+    return ClassificationResult(
+        auc_pr=average_precision(labels, scores) * 100.0,
+        num_positives=len(positives),
+    )
+
+
+def evaluate_entity_prediction(
+    model: TripleScorer,
+    graph: KnowledgeGraph,
+    targets: TripleSet,
+    rng: np.random.Generator,
+    num_negatives: int = 49,
+) -> RankingResult:
+    """MRR / Hits@n ranking the truth against sampled candidates.
+
+    For each test triple, the corrupted side (head or tail) is chosen
+    uniformly — matching the paper's "replacing the head (or tail) with a
+    random entity".
+    """
+    queries = list(targets)
+    if not queries:
+        raise ValueError("no test triples")
+    candidates_pool = _candidate_entities(graph, targets)
+    known = _known_facts(graph, targets)
+    ranks: List[float] = []
+    for triple in queries:
+        corrupt_head = bool(rng.integers(2))
+        candidates = ranking_candidates(
+            triple,
+            num_entities=graph.num_entities,
+            rng=rng,
+            num_negatives=num_negatives,
+            known=known,
+            candidate_entities=candidates_pool,
+            corrupt_head=corrupt_head,
+        )
+        scores = model.score_triples(graph, candidates)
+        ranks.append(rank_of_first(scores))
+    return RankingResult(
+        mrr=mrr(ranks),
+        hits_at_10=hits_at(ranks, 10),
+        hits_at_1=hits_at(ranks, 1),
+        num_queries=len(queries),
+    )
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Combined report in the shape of the paper's result tables."""
+
+    classification: ClassificationResult
+    ranking: RankingResult
+
+    def as_dict(self) -> Dict[str, float]:
+        row = {}
+        row.update(self.classification.as_dict())
+        row.update(self.ranking.as_dict())
+        return row
+
+
+def evaluate_both(
+    model: TripleScorer,
+    graph: KnowledgeGraph,
+    targets: TripleSet,
+    seed: int = 0,
+    num_negatives: int = 49,
+) -> EvaluationReport:
+    """Run both protocols with independent deterministic streams."""
+    classification = evaluate_triple_classification(
+        model, graph, targets, np.random.default_rng((seed, 1))
+    )
+    ranking = evaluate_entity_prediction(
+        model, graph, targets, np.random.default_rng((seed, 2)), num_negatives=num_negatives
+    )
+    return EvaluationReport(classification=classification, ranking=ranking)

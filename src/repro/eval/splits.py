@@ -1,0 +1,58 @@
+"""Test-set filters for the fully inductive settings.
+
+* semi / fully unseen-relation filters over a testing graph's targets;
+* the MaKEr-style ``u_ent`` / ``u_rel`` / ``u_both`` categorisation used by
+  the Ext benchmarks (Tables IV/V).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.kg.triples import Triple, TripleSet
+
+
+def unseen_relation_triples(targets: TripleSet, seen_relations: Set[int]) -> TripleSet:
+    """Triples whose relation is unseen (the *fully* setting's targets)."""
+    return targets.filter(lambda t: t[1] not in seen_relations)
+
+
+def seen_relation_triples(targets: TripleSet, seen_relations: Set[int]) -> TripleSet:
+    return targets.filter(lambda t: t[1] in seen_relations)
+
+
+def categorize_ext_triple(
+    triple: Triple, seen_entities: Set[int], seen_relations: Set[int]
+) -> str:
+    """MaKEr's target categories.
+
+    * ``u_ent``  — all entities unseen, relation seen;
+    * ``u_rel``  — all entities seen, relation unseen;
+    * ``u_both`` — relation unseen and at least one entity unseen;
+    * ``seen``   — everything seen (not a fully/partially inductive target);
+    * ``bridge`` — relation seen, exactly one entity unseen.
+    """
+    head, rel, tail = triple
+    head_seen = head in seen_entities
+    tail_seen = tail in seen_entities
+    rel_seen = rel in seen_relations
+    if rel_seen:
+        if head_seen and tail_seen:
+            return "seen"
+        if not head_seen and not tail_seen:
+            return "u_ent"
+        return "bridge"
+    if head_seen and tail_seen:
+        return "u_rel"
+    return "u_both"
+
+
+def categorize_ext_targets(
+    targets: TripleSet, seen_entities: Set[int], seen_relations: Set[int]
+) -> Dict[str, TripleSet]:
+    """Partition ``targets`` into the MaKEr categories."""
+    buckets: Dict[str, list] = {}
+    for triple in targets:
+        key = categorize_ext_triple(triple, seen_entities, seen_relations)
+        buckets.setdefault(key, []).append(triple)
+    return {key: TripleSet(rows) for key, rows in buckets.items()}

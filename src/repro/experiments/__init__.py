@@ -1,0 +1,30 @@
+"""`repro.experiments` — experiment orchestration and table formatting."""
+
+from repro.experiments.runner import (
+    MODEL_NAMES,
+    ExperimentResult,
+    make_model,
+    run_experiment,
+    run_full_experiment,
+    schema_vectors_for,
+)
+from repro.experiments.repeats import AggregatedResult, aggregate, run_repeated
+from repro.experiments.settings import BenchSettings, bench_settings
+from repro.experiments.tables import format_table, print_table, results_to_rows
+
+__all__ = [
+    "MODEL_NAMES",
+    "ExperimentResult",
+    "make_model",
+    "run_experiment",
+    "run_full_experiment",
+    "schema_vectors_for",
+    "BenchSettings",
+    "bench_settings",
+    "format_table",
+    "print_table",
+    "results_to_rows",
+    "AggregatedResult",
+    "aggregate",
+    "run_repeated",
+]

@@ -1,0 +1,46 @@
+"""Benchmark-scale settings, overridable via environment variables.
+
+The benchmark scripts regenerate every table in the paper; on a laptop the
+full grid at paper scale would take hours in pure numpy, so defaults are
+small.  Override with:
+
+* ``REPRO_BENCH_SCALE``  — dataset size multiplier (default 0.05)
+* ``REPRO_BENCH_EPOCHS`` — training epochs per run (default 4)
+* ``REPRO_BENCH_SEED``   — global seed (default 0)
+* ``REPRO_BENCH_MAX_TRIPLES`` — per-epoch training-triple cap (default 150)
+* ``REPRO_BENCH_NEGATIVES``   — ranking negatives (default 19; paper: 49)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.train import TrainingConfig
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    scale: float
+    epochs: int
+    seed: int
+    max_triples: int
+    num_negatives: int
+
+    def training_config(self) -> TrainingConfig:
+        return TrainingConfig(
+            epochs=self.epochs,
+            seed=self.seed,
+            max_triples_per_epoch=self.max_triples,
+        )
+
+
+def bench_settings() -> BenchSettings:
+    """Read settings from the environment (with quick-run defaults)."""
+    return BenchSettings(
+        scale=float(os.environ.get("REPRO_BENCH_SCALE", "0.05")),
+        epochs=int(os.environ.get("REPRO_BENCH_EPOCHS", "4")),
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "0")),
+        max_triples=int(os.environ.get("REPRO_BENCH_MAX_TRIPLES", "150")),
+        num_negatives=int(os.environ.get("REPRO_BENCH_NEGATIVES", "19")),
+    )

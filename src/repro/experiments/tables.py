@@ -1,0 +1,74 @@
+"""Fixed-width table formatting for benchmark output.
+
+The benchmark scripts print rows shaped like the paper's tables; this
+module keeps that presentation logic in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Column widths adapt to content.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line([str(h) for h in headers]))
+    lines.append(render_line(["-" * w for w in widths]))
+    for row in rendered_rows:
+        lines.append(render_line(row))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+    print()
+
+
+def results_to_rows(
+    results: Sequence,
+    metric_keys: Sequence[str],
+) -> List[List[object]]:
+    """Convert :class:`~repro.experiments.runner.ExperimentResult` objects
+    to printable rows ``[model, benchmark, *metrics]``."""
+    rows: List[List[object]] = []
+    for result in results:
+        rows.append(
+            [result.model, result.benchmark]
+            + [result.metrics.get(key, float("nan")) for key in metric_keys]
+        )
+    return rows

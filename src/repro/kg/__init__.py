@@ -1,0 +1,63 @@
+"""`repro.kg` — knowledge-graph substrate.
+
+Triples, vocabularies, indexed graphs, TSV persistence, negative sampling,
+and the synthetic inductive benchmark generator (ontology + rule-planted
+instances + paper-shaped benchmark suites).
+"""
+
+from repro.kg.benchmarks import (
+    FAMILIES,
+    FULL_BENCHMARK_SPECS,
+    ExtBenchmark,
+    FullInductiveBenchmark,
+    InductiveBenchmark,
+    build_ext_benchmark,
+    build_full_benchmark,
+    build_partial_benchmark,
+    family_ontology,
+)
+from repro.kg.dataset_io import load_benchmark, save_benchmark
+from repro.kg.generator import GraphInstance, generate_instance, split_triples
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.io import load_triples_tsv, save_triples_tsv
+from repro.kg.ontology import (
+    CompositionRule,
+    InverseRule,
+    Ontology,
+    RelationSignature,
+    build_ontology,
+)
+from repro.kg.sampling import corrupt_triple, negative_triples, ranking_candidates
+from repro.kg.triples import Triple, TripleSet
+from repro.kg.vocab import Vocabulary
+
+__all__ = [
+    "Triple",
+    "TripleSet",
+    "Vocabulary",
+    "KnowledgeGraph",
+    "load_triples_tsv",
+    "save_triples_tsv",
+    "corrupt_triple",
+    "negative_triples",
+    "ranking_candidates",
+    "Ontology",
+    "RelationSignature",
+    "CompositionRule",
+    "InverseRule",
+    "build_ontology",
+    "GraphInstance",
+    "generate_instance",
+    "split_triples",
+    "FAMILIES",
+    "FULL_BENCHMARK_SPECS",
+    "InductiveBenchmark",
+    "FullInductiveBenchmark",
+    "ExtBenchmark",
+    "build_partial_benchmark",
+    "build_full_benchmark",
+    "build_ext_benchmark",
+    "family_ontology",
+    "load_benchmark",
+    "save_benchmark",
+]

@@ -1,0 +1,74 @@
+"""Graph analysis utilities: degree/relation statistics, connectivity.
+
+Supports the benchmark documentation (dataset characterisation) and
+diagnosing why subgraph extraction behaves differently across dataset
+families (e.g. sparse WN-like graphs → many empty enclosing subgraphs).
+Uses networkx for component analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import networkx as nx
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+
+
+def degree_statistics(graph: KnowledgeGraph) -> Dict[str, float]:
+    """Mean/median/max undirected degree over entities present in the graph."""
+    entities = sorted(graph.triples.entities())
+    if not entities:
+        return {"mean": 0.0, "median": 0.0, "max": 0.0}
+    degrees = np.asarray([graph.degree(e) for e in entities], dtype=np.float64)
+    return {
+        "mean": float(degrees.mean()),
+        "median": float(np.median(degrees)),
+        "max": float(degrees.max()),
+    }
+
+
+def relation_frequencies(graph: KnowledgeGraph) -> Dict[int, int]:
+    """Triple count per relation id (only relations present)."""
+    counts = np.bincount(graph.triples.relations, minlength=graph.num_relations)
+    return {int(r): int(c) for r, c in enumerate(counts) if c > 0}
+
+
+def to_networkx(graph: KnowledgeGraph) -> nx.MultiDiGraph:
+    """The graph as a networkx MultiDiGraph with ``relation`` edge keys."""
+    g = nx.MultiDiGraph()
+    g.add_nodes_from(graph.triples.entities())
+    for head, rel, tail in graph.triples:
+        g.add_edge(head, tail, relation=rel)
+    return g
+
+
+def connectivity_summary(graph: KnowledgeGraph) -> Dict[str, float]:
+    """Weakly-connected component structure of the graph."""
+    g = to_networkx(graph)
+    if g.number_of_nodes() == 0:
+        return {"components": 0, "largest_fraction": 0.0}
+    components = list(nx.weakly_connected_components(g))
+    largest = max(len(c) for c in components)
+    return {
+        "components": float(len(components)),
+        "largest_fraction": largest / g.number_of_nodes(),
+    }
+
+
+def density(graph: KnowledgeGraph) -> float:
+    """Triples per entity — the sparsity driver of empty enclosing subgraphs."""
+    num_entities = len(graph.triples.entities())
+    if num_entities == 0:
+        return 0.0
+    return len(graph.triples) / num_entities
+
+
+def characterise(graph: KnowledgeGraph) -> Dict[str, float]:
+    """One-stop summary used by docs and dataset benches."""
+    summary: Dict[str, float] = {"density": density(graph)}
+    summary.update({f"degree_{k}": v for k, v in degree_statistics(graph).items()})
+    summary.update(connectivity_summary(graph))
+    summary["relations_present"] = float(len(relation_frequencies(graph)))
+    return summary

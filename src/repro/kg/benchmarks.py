@@ -1,0 +1,423 @@
+"""Inductive benchmark suites.
+
+This module mirrors the paper's benchmark construction (§IV-A) on synthetic
+analogues of WN18RR / FB15k-237 / NELL-995:
+
+* **Partially inductive** (Table Ia): per family, four versions ``v1..v4``
+  with a training graph and a testing graph over *disjoint entity sets* but
+  the *same* relation vocabulary.  80% of the training graph's triples are
+  training targets, 10% validation; 10% of the testing graph's triples are
+  held out as test targets (removed from the testing context graph).
+* **Fully inductive** (Table Ib): re-combinations ``family.vi.vj`` that keep
+  vi's training graph and build the testing graph with vj's (larger)
+  relation set, yielding both a ``semi`` testing graph (seen + unseen
+  relations) and a ``fully`` testing graph (unseen relations only).
+* **Ext benchmarks** (Tables IV/V, after MaKEr): the testing graph *extends*
+  the training graph with new entities and new relations; targets are split
+  into ``u_ent`` / ``u_rel`` / ``u_both`` categories.
+
+All sizes scale with the ``scale`` parameter so the same code produces
+laptop-size graphs (default) or larger ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.kg.generator import generate_instance, split_triples
+from repro.kg.hashing import stable_hash
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.ontology import Ontology, build_ontology
+from repro.kg.triples import TripleSet
+
+
+@dataclass(frozen=True)
+class FamilyConfig:
+    """Per-family shape parameters (paper Table Ia, to be scaled)."""
+
+    name: str
+    relations: Tuple[int, int, int, int]
+    train_entities: Tuple[int, int, int, int]
+    train_triples: Tuple[int, int, int, int]
+    test_entities: Tuple[int, int, int, int]
+    test_triples: Tuple[int, int, int, int]
+    num_concepts: int
+    extension_relations: int  # extra relations reserved for Ext benchmarks
+    ontology_seed: int
+
+
+FAMILIES: Dict[str, FamilyConfig] = {
+    "WN18RR": FamilyConfig(
+        name="WN18RR",
+        relations=(9, 10, 11, 9),
+        train_entities=(2746, 6954, 12078, 3861),
+        train_triples=(6678, 18968, 32150, 9842),
+        test_entities=(922, 2757, 5084, 7084),
+        test_triples=(1991, 4863, 7470, 15157),
+        num_concepts=6,
+        extension_relations=4,
+        ontology_seed=11,
+    ),
+    "FB15k-237": FamilyConfig(
+        name="FB15k-237",
+        relations=(45, 50, 54, 55),  # paper: 180/200/215/219, scaled 4x down
+        train_entities=(1594, 2608, 3668, 4707),
+        train_triples=(5226, 12085, 22394, 33916),
+        test_entities=(1093, 1660, 2501, 3051),
+        test_triples=(2404, 5092, 9137, 14554),
+        num_concepts=14,
+        extension_relations=10,
+        ontology_seed=23,
+    ),
+    "NELL-995": FamilyConfig(
+        name="NELL-995",
+        relations=(14, 44, 71, 38),  # paper: 14/88/142/76, scaled 2x down
+        train_entities=(3103, 2564, 4647, 2092),
+        train_triples=(5540, 10109, 20117, 9289),
+        test_entities=(225, 2086, 3566, 2795),
+        test_triples=(1034, 5521, 9668, 8520),
+        num_concepts=10,
+        extension_relations=12,
+        ontology_seed=37,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class InductiveBenchmark:
+    """A partially inductive benchmark (unseen entities, shared relations)."""
+
+    name: str
+    ontology: Ontology
+    num_relations: int
+    train_graph: KnowledgeGraph
+    train_triples: TripleSet
+    valid_triples: TripleSet
+    test_graph: KnowledgeGraph
+    test_triples: TripleSet
+    seen_relations: FrozenSet[int]
+
+    def unseen_test_relations(self) -> FrozenSet[int]:
+        present = self.test_graph.triples.relation_ids() | self.test_triples.relation_ids()
+        return frozenset(present - self.seen_relations)
+
+    def statistics(self) -> Dict[str, Dict[str, int]]:
+        """Table I-style statistics for the train and test graphs."""
+        train_all = self.train_graph.statistics()
+        test_all = {
+            "relations": len(
+                self.test_graph.triples.relation_ids() | self.test_triples.relation_ids()
+            ),
+            "entities": len(
+                self.test_graph.triples.entities() | self.test_triples.entities()
+            ),
+            "triples": len(self.test_graph.triples) + len(self.test_triples),
+        }
+        return {"train": train_all, "test": test_all}
+
+
+@dataclass(frozen=True)
+class FullInductiveBenchmark:
+    """A fully inductive benchmark with semi and fully unseen testing graphs."""
+
+    name: str
+    ontology: Ontology
+    num_relations: int
+    train_graph: KnowledgeGraph
+    train_triples: TripleSet
+    valid_triples: TripleSet
+    semi_test_graph: KnowledgeGraph
+    semi_test_triples: TripleSet
+    fully_test_graph: KnowledgeGraph
+    fully_test_triples: TripleSet
+    seen_relations: FrozenSet[int]
+
+    def unseen_relations(self) -> FrozenSet[int]:
+        present = (
+            self.semi_test_graph.triples.relation_ids()
+            | self.semi_test_triples.relation_ids()
+        )
+        return frozenset(present - self.seen_relations)
+
+    def as_partial(self, setting: str) -> InductiveBenchmark:
+        """View one testing setting ('semi' or 'fully') as a plain benchmark."""
+        if setting == "semi":
+            graph, triples = self.semi_test_graph, self.semi_test_triples
+        elif setting == "fully":
+            graph, triples = self.fully_test_graph, self.fully_test_triples
+        else:
+            raise ValueError(f"unknown setting {setting!r}")
+        return InductiveBenchmark(
+            name=f"{self.name}[{setting}]",
+            ontology=self.ontology,
+            num_relations=self.num_relations,
+            train_graph=self.train_graph,
+            train_triples=self.train_triples,
+            valid_triples=self.valid_triples,
+            test_graph=graph,
+            test_triples=triples,
+            seen_relations=self.seen_relations,
+        )
+
+
+@dataclass(frozen=True)
+class ExtBenchmark:
+    """A MaKEr-style extension benchmark with categorised targets."""
+
+    name: str
+    ontology: Ontology
+    num_relations: int
+    num_train_entities: int
+    train_graph: KnowledgeGraph
+    train_triples: TripleSet
+    valid_triples: TripleSet
+    test_graph: KnowledgeGraph
+    targets: Dict[str, TripleSet]  # keys: u_ent, u_rel, u_both
+    seen_relations: FrozenSet[int]
+    seen_entities: FrozenSet[int]
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+_ONTOLOGY_CACHE: Dict[Tuple[str, int], Ontology] = {}
+
+
+def family_ontology(family: str) -> Ontology:
+    """The shared generative ontology of a dataset family (cached)."""
+    config = FAMILIES[family]
+    key = (family, config.ontology_seed)
+    if key not in _ONTOLOGY_CACHE:
+        max_relations = max(config.relations)
+        _ONTOLOGY_CACHE[key] = build_ontology(
+            num_relations=max_relations + config.extension_relations,
+            num_concepts=config.num_concepts,
+            num_extension_relations=config.extension_relations,
+            seed=config.ontology_seed,
+        )
+    return _ONTOLOGY_CACHE[key]
+
+
+def _scaled(value: int, scale: float, minimum: int) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def _make_graph(triples: TripleSet, num_entities: int, num_relations: int) -> KnowledgeGraph:
+    return KnowledgeGraph(triples, num_entities=num_entities, num_relations=num_relations)
+
+
+def _holdout_split(
+    triples: TripleSet, rng: np.random.Generator, min_targets: int = 25
+) -> Tuple[TripleSet, TripleSet]:
+    """Split a testing graph into (context, targets).
+
+    The paper holds out 10% of the testing graph as prediction targets; on
+    small scaled graphs 10% is too few for stable metrics, so we hold out at
+    least ``min_targets`` (capped at a third of the graph).
+    """
+    n = len(triples)
+    target_count = min(max(int(round(0.1 * n)), min_targets), max(1, n // 3))
+    context_fraction = 1.0 - target_count / max(n, 1)
+    context, targets = split_triples(triples, (context_fraction,), rng)
+    return context, targets
+
+
+def build_partial_benchmark(
+    family: str,
+    version: int,
+    scale: float = 0.08,
+    seed: int = 0,
+) -> InductiveBenchmark:
+    """Build ``family.v{version}`` (version in 1..4), scaled."""
+    if version not in (1, 2, 3, 4):
+        raise ValueError("version must be in 1..4")
+    config = FAMILIES[family]
+    ontology = family_ontology(family)
+    index = version - 1
+    relations = set(range(config.relations[index]))
+    rng = np.random.default_rng((seed, stable_hash(family), version))
+
+    n_train_ent = _scaled(config.train_entities[index], scale, 40)
+    n_train_base = _scaled(config.train_triples[index], scale * 0.55, 60)
+    train = generate_instance(ontology, relations, n_train_ent, n_train_base, rng)
+
+    n_test_ent = _scaled(config.test_entities[index], scale, 60)
+    n_test_base = _scaled(config.test_triples[index], scale * 0.55, 60)
+    test = generate_instance(ontology, relations, n_test_ent, n_test_base, rng)
+
+    train_targets, valid_targets, _rest = split_triples(train.triples, (0.8, 0.1), rng)
+    test_context, test_targets = _holdout_split(test.triples, rng)
+
+    train_graph = _make_graph(train.triples, n_train_ent, ontology.num_relations)
+    test_graph = _make_graph(test_context, n_test_ent, ontology.num_relations)
+    return InductiveBenchmark(
+        name=f"{family}.v{version}",
+        ontology=ontology,
+        num_relations=ontology.num_relations,
+        train_graph=train_graph,
+        train_triples=train_targets,
+        valid_triples=valid_targets,
+        test_graph=test_graph,
+        test_triples=test_targets,
+        seen_relations=frozenset(train.triples.relation_ids()),
+    )
+
+
+def build_full_benchmark(
+    family: str,
+    train_version: int,
+    test_version: int,
+    scale: float = 0.08,
+    seed: int = 0,
+    min_fully_targets: int = 20,
+) -> FullInductiveBenchmark:
+    """Build ``family.v{i}.v{j}``: vi's training graph, vj's relation set for
+    the testing graph (vj must have strictly more relations)."""
+    config = FAMILIES[family]
+    if config.relations[test_version - 1] <= config.relations[train_version - 1]:
+        raise ValueError("test version must contribute extra relations")
+    ontology = family_ontology(family)
+    rng = np.random.default_rng((seed, stable_hash(family), train_version, test_version))
+
+    train_relations = set(range(config.relations[train_version - 1]))
+    test_relations = set(range(config.relations[test_version - 1]))
+
+    i = train_version - 1
+    n_train_ent = _scaled(config.train_entities[i], scale, 40)
+    n_train_base = _scaled(config.train_triples[i], scale * 0.55, 60)
+    train = generate_instance(ontology, train_relations, n_train_ent, n_train_base, rng)
+    seen = frozenset(train.triples.relation_ids())
+
+    j = test_version - 1
+    n_test_ent = _scaled(config.test_entities[j], scale, 60)
+    n_test_base = _scaled(config.test_triples[j], scale * 0.55, 60)
+    test = generate_instance(ontology, test_relations, n_test_ent, n_test_base, rng)
+
+    train_targets, valid_targets, _rest = split_triples(train.triples, (0.8, 0.1), rng)
+    semi_context, semi_targets = _holdout_split(test.triples, rng)
+
+    # Fully-unseen testing graph: drop every triple with a seen relation.
+    fully_context = semi_context.filter(lambda t: t[1] not in seen)
+    fully_targets = semi_targets.filter(lambda t: t[1] not in seen)
+    if len(fully_targets) < min_fully_targets and len(fully_context) > min_fully_targets:
+        # Move extra unseen-relation triples from context to targets.
+        needed = min_fully_targets - len(fully_targets)
+        moved = fully_context.sample(needed, rng)
+        fully_targets = fully_targets.union(moved)
+        fully_context = fully_context.difference(moved)
+
+    name = f"{family}.v{train_version}.v{test_version}"
+    return FullInductiveBenchmark(
+        name=name,
+        ontology=ontology,
+        num_relations=ontology.num_relations,
+        train_graph=_make_graph(train.triples, n_train_ent, ontology.num_relations),
+        train_triples=train_targets,
+        valid_triples=valid_targets,
+        semi_test_graph=_make_graph(semi_context, n_test_ent, ontology.num_relations),
+        semi_test_triples=semi_targets,
+        fully_test_graph=_make_graph(fully_context, n_test_ent, ontology.num_relations),
+        fully_test_triples=fully_targets,
+        seen_relations=seen,
+    )
+
+
+# The paper's four re-combined fully-inductive benchmarks (Table Ib).
+FULL_BENCHMARK_SPECS: List[Tuple[str, int, int]] = [
+    ("NELL-995", 1, 3),
+    ("NELL-995", 2, 3),
+    ("NELL-995", 4, 3),
+    ("FB15k-237", 1, 4),
+]
+
+
+def build_ext_benchmark(
+    family: str,
+    scale: float = 0.08,
+    seed: int = 0,
+    targets_per_category: int = 40,
+) -> ExtBenchmark:
+    """Build ``family-Ext`` after MaKEr: the testing graph extends the
+    training graph with new entities and the family's extension relations.
+
+    Target categories:
+
+    * ``u_ent``  — both entities unseen, relation seen;
+    * ``u_rel``  — both entities seen, relation unseen;
+    * ``u_both`` — relation unseen and at least one entity unseen.
+    """
+    config = FAMILIES[family]
+    ontology = family_ontology(family)
+    rng = np.random.default_rng((seed, stable_hash(family), 99))
+
+    core_relations = set(range(config.relations[0]))
+    ext_relations = set(
+        range(ontology.num_relations - config.extension_relations, ontology.num_relations)
+    )
+    all_relations = core_relations | ext_relations
+
+    n_train_ent = _scaled(config.train_entities[0], scale, 60)
+    n_new_ent = max(30, n_train_ent // 2)
+    total_entities = n_train_ent + n_new_ent
+    n_base = _scaled(config.train_triples[0], scale * 0.9, 120)
+    combined = generate_instance(ontology, all_relations, total_entities, n_base, rng)
+
+    # First pass: the training graph is everything inside the designated
+    # entity/relation region.
+    train_region = combined.triples.filter(
+        lambda t: t[0] < n_train_ent and t[2] < n_train_ent and t[1] in core_relations
+    )
+    # The seen sets are what the training graph *actually* contains — a core
+    # relation or a low-id entity that never occurs in the train region is
+    # unseen in every sense that matters to a model.
+    seen_rel = train_region.relation_ids()
+    seen_ent = train_region.entities()
+
+    def category(triple) -> str:
+        head, rel, tail = triple
+        head_seen = head in seen_ent
+        tail_seen = tail in seen_ent
+        rel_seen = rel in seen_rel
+        if rel_seen and head_seen and tail_seen:
+            return "seen"
+        if rel_seen and not head_seen and not tail_seen:
+            return "u_ent"
+        if not rel_seen and head_seen and tail_seen:
+            return "u_rel"
+        if not rel_seen:
+            return "u_both"
+        return "bridge"  # seen relation, exactly one unseen entity: context only
+
+    buckets: Dict[str, List] = {"seen": [], "u_ent": [], "u_rel": [], "u_both": [], "bridge": []}
+    for triple in combined.triples:
+        if triple in train_region:
+            continue
+        buckets[category(triple)].append(triple)
+    train_targets, valid_targets, _rest = split_triples(train_region, (0.7, 0.1), rng)
+
+    targets: Dict[str, TripleSet] = {}
+    held_out: List = []
+    for key in ("u_ent", "u_rel", "u_both"):
+        pool = TripleSet(buckets[key])
+        picked = pool.sample(min(targets_per_category, max(1, len(pool) // 2)), rng)
+        targets[key] = picked
+        held_out.extend(picked)
+
+    test_context = combined.triples.difference(TripleSet(held_out))
+    seen = frozenset(seen_rel)
+    return ExtBenchmark(
+        name=f"{family}-Ext",
+        ontology=ontology,
+        num_relations=ontology.num_relations,
+        num_train_entities=n_train_ent,
+        train_graph=_make_graph(train_region, n_train_ent, ontology.num_relations),
+        train_triples=train_targets,
+        valid_triples=valid_targets,
+        test_graph=_make_graph(test_context, total_entities, ontology.num_relations),
+        targets=targets,
+        seen_relations=seen,
+        seen_entities=frozenset(seen_ent),
+    )

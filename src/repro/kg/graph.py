@@ -1,0 +1,173 @@
+"""Indexed multi-relational graph.
+
+:class:`KnowledgeGraph` wraps a :class:`~repro.kg.triples.TripleSet` with the
+adjacency indices that subgraph extraction needs: per-entity incident edge
+lists and fast K-hop breadth-first search over the *undirected* skeleton
+(the paper collects both incoming and outgoing neighbors, §III-B).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.kg.triples import Triple, TripleSet
+from repro.kg.vocab import Vocabulary
+
+
+class KnowledgeGraph:
+    """A KG ``G = (E, R, T)`` with integer ids and adjacency indices.
+
+    Parameters
+    ----------
+    triples:
+        The fact set.
+    num_entities / num_relations:
+        Sizes of the id spaces.  They may exceed the ids present in
+        ``triples`` (e.g. a testing graph that shares the training relation
+        vocabulary).
+    entity_vocab / relation_vocab:
+        Optional string vocabularies for reporting.
+    """
+
+    def __init__(
+        self,
+        triples: TripleSet,
+        num_entities: int,
+        num_relations: int,
+        entity_vocab: Optional[Vocabulary] = None,
+        relation_vocab: Optional[Vocabulary] = None,
+    ) -> None:
+        if len(triples) > 0:
+            if int(triples.heads.max()) >= num_entities or int(triples.tails.max()) >= num_entities:
+                raise ValueError("entity id out of range")
+            if int(triples.relations.max()) >= num_relations:
+                raise ValueError("relation id out of range")
+        self.triples = triples
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+        self.entity_vocab = entity_vocab
+        self.relation_vocab = relation_vocab
+        self._incident: List[List[int]] = [[] for _ in range(self.num_entities)]
+        for edge_index, (head, _rel, tail) in enumerate(triples):
+            self._incident[head].append(edge_index)
+            if tail != head:
+                self._incident[tail].append(edge_index)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_triples(
+        cls,
+        triples: Iterable[Triple],
+        num_entities: Optional[int] = None,
+        num_relations: Optional[int] = None,
+    ) -> "KnowledgeGraph":
+        """Build a graph, inferring id-space sizes from the data if omitted."""
+        tset = triples if isinstance(triples, TripleSet) else TripleSet(triples)
+        if num_entities is None:
+            num_entities = (max(tset.entities()) + 1) if len(tset) else 0
+        if num_relations is None:
+            num_relations = (max(tset.relation_ids()) + 1) if len(tset) else 0
+        return cls(tset, num_entities, num_relations)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    def __repr__(self) -> str:
+        return (
+            f"KnowledgeGraph(entities={self.num_entities}, "
+            f"relations={self.num_relations}, triples={len(self.triples)})"
+        )
+
+    def incident_edges(self, entity: int) -> List[int]:
+        """Indices into ``triples.array`` of edges touching ``entity``."""
+        return self._incident[entity]
+
+    def degree(self, entity: int) -> int:
+        return len(self._incident[entity])
+
+    def edge(self, edge_index: int) -> Triple:
+        return self.triples[edge_index]
+
+    # ------------------------------------------------------------------
+    def khop_distances(
+        self,
+        source: int,
+        max_hops: int,
+        forbidden: Optional[Set[int]] = None,
+    ) -> Dict[int, int]:
+        """Shortest undirected distances from ``source`` up to ``max_hops``.
+
+        ``forbidden`` entities are never expanded *through* (they are not
+        enqueued), implementing the paper's "without counting any path
+        through v" rule used by GraIL's double-radius labeling.
+        The source itself is always reported at distance 0.
+        """
+        forbidden = forbidden or set()
+        distances: Dict[int, int] = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            depth = distances[node]
+            if depth >= max_hops:
+                continue
+            for edge_index in self._incident[node]:
+                head, _rel, tail = self.triples[edge_index]
+                for neighbor in (head, tail):
+                    if neighbor in distances:
+                        continue
+                    distances[neighbor] = depth + 1
+                    if neighbor not in forbidden:
+                        frontier.append(neighbor)
+        return distances
+
+    def khop_neighbors(self, source: int, max_hops: int) -> Set[int]:
+        """Entities within ``max_hops`` undirected hops of ``source``
+        (paper's N^K, source included)."""
+        return set(self.khop_distances(source, max_hops))
+
+    # ------------------------------------------------------------------
+    def induced_edge_indices(self, entities: Set[int]) -> List[int]:
+        """Indices of edges whose head AND tail are both in ``entities``."""
+        picked: List[int] = []
+        seen: Set[int] = set()
+        for entity in entities:
+            if entity >= self.num_entities:
+                continue
+            for edge_index in self._incident[entity]:
+                if edge_index in seen:
+                    continue
+                head, _rel, tail = self.triples[edge_index]
+                if head in entities and tail in entities:
+                    seen.add(edge_index)
+                    picked.append(edge_index)
+        picked.sort()
+        return picked
+
+    def induced_subgraph_triples(self, entities: Set[int]) -> TripleSet:
+        return TripleSet(self.triples[i] for i in self.induced_edge_indices(entities))
+
+    # ------------------------------------------------------------------
+    def relations_of(self, entity: int) -> Set[int]:
+        """Relations on edges incident to ``entity``."""
+        return {self.triples[i][1] for i in self._incident[entity]}
+
+    def entity_pair_relations(self, head: int, tail: int) -> Set[int]:
+        """Relations r such that (head, r, tail) is a fact."""
+        found: Set[int] = set()
+        for edge_index in self._incident[head]:
+            h, r, t = self.triples[edge_index]
+            if h == head and t == tail:
+                found.add(r)
+        return found
+
+    def statistics(self) -> Dict[str, int]:
+        """Counts in the style of the paper's Table I rows."""
+        return {
+            "relations": len(self.triples.relation_ids()),
+            "entities": len(self.triples.entities()),
+            "triples": len(self.triples),
+        }

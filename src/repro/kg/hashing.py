@@ -1,0 +1,16 @@
+"""Stable string hashing for seeding.
+
+Python's built-in ``hash()`` on strings is randomised per process
+(PYTHONHASHSEED), which silently breaks cross-run reproducibility of any
+RNG seeded from it.  Every seed derived from a name must go through
+:func:`stable_hash` instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+
+def stable_hash(text: str, mask: int = 0xFFFF) -> int:
+    """Deterministic (process-independent) hash of ``text`` in [0, mask]."""
+    return zlib.crc32(text.encode("utf-8")) & mask

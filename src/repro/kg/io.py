@@ -1,0 +1,57 @@
+"""TSV persistence for triples — the GraIL benchmark file format.
+
+Files are tab-separated ``head<TAB>relation<TAB>tail`` lines with string
+symbols; loading builds/extends vocabularies so splits share id spaces.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Tuple
+
+from repro.kg.triples import TripleSet
+from repro.kg.vocab import Vocabulary
+
+
+def save_triples_tsv(
+    path: str,
+    triples: TripleSet,
+    entity_vocab: Vocabulary,
+    relation_vocab: Vocabulary,
+) -> None:
+    """Write triples as symbol TSV, creating parent directories."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for head, rel, tail in triples:
+            handle.write(
+                f"{entity_vocab.symbol_of(head)}\t"
+                f"{relation_vocab.symbol_of(rel)}\t"
+                f"{entity_vocab.symbol_of(tail)}\n"
+            )
+
+
+def load_triples_tsv(
+    path: str,
+    entity_vocab: Optional[Vocabulary] = None,
+    relation_vocab: Optional[Vocabulary] = None,
+) -> Tuple[TripleSet, Vocabulary, Vocabulary]:
+    """Read symbol TSV into ids, extending the given vocabularies in place.
+
+    Returns ``(triples, entity_vocab, relation_vocab)``.
+    """
+    entity_vocab = entity_vocab if entity_vocab is not None else Vocabulary()
+    relation_vocab = relation_vocab if relation_vocab is not None else Vocabulary()
+    rows: List[Tuple[int, int, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(f"{path}:{line_number}: expected 3 columns, got {len(parts)}")
+            head, rel, tail = parts
+            rows.append(
+                (entity_vocab.add(head), relation_vocab.add(rel), entity_vocab.add(tail))
+            )
+    return TripleSet(rows), entity_vocab, relation_vocab

@@ -1,0 +1,104 @@
+"""Negative sampling.
+
+Following the paper (§III-E and §IV-B): a negative triple is generated from a
+positive one by replacing its head *or* tail with a uniformly sampled random
+entity; we filter candidates that collide with known facts so negatives are
+(very likely) genuinely false.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.kg.triples import Triple, TripleSet
+
+
+def corrupt_triple(
+    triple: Triple,
+    num_entities: int,
+    rng: np.random.Generator,
+    known: Optional[Set[Triple]] = None,
+    candidate_entities: Optional[Sequence[int]] = None,
+    max_tries: int = 100,
+) -> Triple:
+    """Return one corrupted copy of ``triple`` (head- or tail-replaced).
+
+    ``candidate_entities`` restricts replacement ids (e.g. to the testing
+    graph's entity set); ``known`` facts are avoided when possible.
+    """
+    head, rel, tail = triple
+    known = known or set()
+    for _ in range(max_tries):
+        if candidate_entities is not None:
+            replacement = int(candidate_entities[rng.integers(len(candidate_entities))])
+        else:
+            replacement = int(rng.integers(num_entities))
+        corrupt_head = bool(rng.integers(2))
+        candidate = (replacement, rel, tail) if corrupt_head else (head, rel, replacement)
+        if candidate != triple and candidate not in known:
+            return candidate
+    # Extremely dense neighborhoods: accept a possibly-true corruption rather
+    # than loop forever (matches common practice in KGC implementations).
+    return candidate
+
+
+def negative_triples(
+    positives: TripleSet,
+    num_entities: int,
+    rng: np.random.Generator,
+    known: Optional[Set[Triple]] = None,
+    candidate_entities: Optional[Sequence[int]] = None,
+    per_positive: int = 1,
+) -> List[Triple]:
+    """One (or more) negatives per positive, order-aligned with ``positives``."""
+    known = known if known is not None else set(positives)
+    result: List[Triple] = []
+    for triple in positives:
+        for _ in range(per_positive):
+            result.append(
+                corrupt_triple(
+                    triple,
+                    num_entities,
+                    rng,
+                    known=known,
+                    candidate_entities=candidate_entities,
+                )
+            )
+    return result
+
+
+def ranking_candidates(
+    triple: Triple,
+    num_entities: int,
+    rng: np.random.Generator,
+    num_negatives: int = 49,
+    known: Optional[Set[Triple]] = None,
+    candidate_entities: Optional[Sequence[int]] = None,
+    corrupt_head: bool = False,
+) -> List[Triple]:
+    """The entity-prediction candidate list: ground truth + ``num_negatives``
+    corrupted candidates (paper §IV-B ranks against 49 sampled negatives).
+
+    The ground truth is always at index 0; callers should shuffle or use
+    rank-of-index-0 conventions explicitly.
+    """
+    head, rel, tail = triple
+    known = known or set()
+    candidates: List[Triple] = [triple]
+    seen: Set[Triple] = {triple}
+    tries = 0
+    limit = num_negatives * 50 + 100
+    while len(candidates) - 1 < num_negatives and tries < limit:
+        tries += 1
+        if candidate_entities is not None:
+            replacement = int(candidate_entities[rng.integers(len(candidate_entities))])
+        else:
+            replacement = int(rng.integers(num_entities))
+        corrupted = (replacement, rel, tail) if corrupt_head else (head, rel, replacement)
+        if corrupted in seen or corrupted in known:
+            continue
+        seen.add(corrupted)
+        candidates.append(corrupted)
+    return candidates

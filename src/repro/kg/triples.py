@@ -1,0 +1,111 @@
+"""Triple containers.
+
+A triple is ``(head, relation, tail)`` with integer ids.  :class:`TripleSet`
+wraps an ``(n, 3)`` int64 array with set-like membership and convenience
+accessors; it is the exchange format between the KG substrate, subgraph
+extraction, and the evaluation protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set, Tuple
+
+import numpy as np
+
+Triple = Tuple[int, int, int]
+
+
+class TripleSet:
+    """An immutable collection of (h, r, t) integer triples."""
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        rows = [tuple(int(x) for x in t) for t in triples]
+        for row in rows:
+            if len(row) != 3:
+                raise ValueError(f"triple must have 3 elements, got {row}")
+        if rows:
+            self._array = np.asarray(rows, dtype=np.int64)
+        else:
+            self._array = np.empty((0, 3), dtype=np.int64)
+        self._set: Set[Triple] = {tuple(row) for row in rows}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "TripleSet":
+        array = np.asarray(array, dtype=np.int64)
+        if array.ndim != 2 or array.shape[1] != 3:
+            raise ValueError(f"expected (n, 3) array, got shape {array.shape}")
+        return cls(map(tuple, array))
+
+    # ------------------------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying (n, 3) int64 array (copy-on-write discipline:
+        callers must not mutate)."""
+        return self._array
+
+    @property
+    def heads(self) -> np.ndarray:
+        return self._array[:, 0]
+
+    @property
+    def relations(self) -> np.ndarray:
+        return self._array[:, 1]
+
+    @property
+    def tails(self) -> np.ndarray:
+        return self._array[:, 2]
+
+    def entities(self) -> Set[int]:
+        """All entity ids occurring as head or tail."""
+        if len(self._array) == 0:
+            return set()
+        return set(self._array[:, 0].tolist()) | set(self._array[:, 2].tolist())
+
+    def relation_ids(self) -> Set[int]:
+        if len(self._array) == 0:
+            return set()
+        return set(self._array[:, 1].tolist())
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def __iter__(self) -> Iterator[Triple]:
+        for row in self._array:
+            yield (int(row[0]), int(row[1]), int(row[2]))
+
+    def __contains__(self, triple: Triple) -> bool:
+        return tuple(int(x) for x in triple) in self._set
+
+    def __getitem__(self, index: int) -> Triple:
+        row = self._array[index]
+        return (int(row[0]), int(row[1]), int(row[2]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TripleSet):
+            return NotImplemented
+        return self._set == other._set
+
+    def __repr__(self) -> str:
+        return f"TripleSet(n={len(self)})"
+
+    # ------------------------------------------------------------------
+    def union(self, other: "TripleSet") -> "TripleSet":
+        return TripleSet(self._set | other._set)
+
+    def difference(self, other: "TripleSet") -> "TripleSet":
+        return TripleSet(self._set - other._set)
+
+    def filter(self, predicate) -> "TripleSet":
+        """Keep triples where ``predicate((h, r, t))`` is truthy."""
+        return TripleSet(t for t in self if predicate(t))
+
+    def filter_relations(self, allowed: Set[int]) -> "TripleSet":
+        return self.filter(lambda t: t[1] in allowed)
+
+    def sample(self, count: int, rng: np.random.Generator) -> "TripleSet":
+        """Uniform sample without replacement (count capped at len)."""
+        count = min(count, len(self))
+        index = rng.choice(len(self._array), size=count, replace=False)
+        return TripleSet.from_array(self._array[index])

@@ -1,0 +1,55 @@
+"""Bidirectional string<->integer vocabularies for entities and relations."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+
+class Vocabulary:
+    """Assigns stable contiguous integer ids to string symbols.
+
+    Ids are assigned in insertion order, so building a vocabulary from a
+    deterministic symbol stream is itself deterministic.
+    """
+
+    def __init__(self, symbols: Iterable[str] = ()) -> None:
+        self._symbol_to_id: Dict[str, int] = {}
+        self._id_to_symbol: List[str] = []
+        for symbol in symbols:
+            self.add(symbol)
+
+    def add(self, symbol: str) -> int:
+        """Insert ``symbol`` if new; return its id either way."""
+        existing = self._symbol_to_id.get(symbol)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_symbol)
+        self._symbol_to_id[symbol] = new_id
+        self._id_to_symbol.append(symbol)
+        return new_id
+
+    def id_of(self, symbol: str) -> int:
+        return self._symbol_to_id[symbol]
+
+    def symbol_of(self, index: int) -> str:
+        return self._id_to_symbol[index]
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._symbol_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_symbol)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_symbol)
+
+    def symbols(self) -> List[str]:
+        return list(self._id_to_symbol)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vocabulary):
+            return NotImplemented
+        return self._id_to_symbol == other._id_to_symbol
+
+    def __repr__(self) -> str:
+        return f"Vocabulary(size={len(self)})"

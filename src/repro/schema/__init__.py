@@ -1,0 +1,36 @@
+"""`repro.schema` — ontological schema support.
+
+RDFS schema graphs derived from the generative ontology, TransE
+pre-training of schema embeddings, and the projection layer that injects
+them into the relational message passing network (paper §III-D2).
+"""
+
+from repro.schema.ontology import (
+    DOMAIN,
+    META_RELATION_NAMES,
+    NUM_META_RELATIONS,
+    RANGE,
+    SUB_CLASS_OF,
+    SUB_PROPERTY_OF,
+    SchemaGraph,
+    build_schema_graph,
+)
+from repro.schema.pretraining import pretrain_schema_with
+from repro.schema.projection import SchemaProjection
+from repro.schema.transe import TransE, TransEConfig, pretrain_schema_embeddings
+
+__all__ = [
+    "SchemaGraph",
+    "build_schema_graph",
+    "SUB_PROPERTY_OF",
+    "DOMAIN",
+    "RANGE",
+    "SUB_CLASS_OF",
+    "NUM_META_RELATIONS",
+    "META_RELATION_NAMES",
+    "TransE",
+    "TransEConfig",
+    "pretrain_schema_embeddings",
+    "pretrain_schema_with",
+    "SchemaProjection",
+]

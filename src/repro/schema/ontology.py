@@ -1,0 +1,88 @@
+"""RDFS schema graphs (paper §III-D2).
+
+The paper injects relation semantics from a KG's ontological schema: a graph
+whose nodes are KG relations and concepts (entity types) and whose edges use
+four RDFS vocabularies —
+
+* ``rdfs:subPropertyOf``  (relation -> relation),
+* ``rdfs:domain``         (relation -> concept),
+* ``rdfs:range``          (relation -> concept),
+* ``rdfs:subClassOf``     (concept -> concept).
+
+:func:`build_schema_graph` derives such a graph from the generative
+:class:`~repro.kg.ontology.Ontology` — playing the role of the released
+NELL-995 schema graph used in the paper.  Crucially, the schema covers *all*
+relations (seen and unseen), so pre-trained schema embeddings connect unseen
+relations to seen ones through shared concepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.kg.ontology import Ontology
+
+# Meta-relation ids within a schema graph.
+SUB_PROPERTY_OF = 0
+DOMAIN = 1
+RANGE = 2
+SUB_CLASS_OF = 3
+NUM_META_RELATIONS = 4
+META_RELATION_NAMES = ("rdfs:subPropertyOf", "rdfs:domain", "rdfs:range", "rdfs:subClassOf")
+
+
+@dataclass(frozen=True)
+class SchemaGraph:
+    """A schema graph over ``num_relations + num_concepts`` nodes.
+
+    Node ids: KG relation ``r`` is node ``r``; concept ``c`` is node
+    ``num_relations + c``.  ``triples`` rows are ``(node, meta_relation,
+    node)`` — the RDF triples of the schema.
+    """
+
+    num_relations: int
+    num_concepts: int
+    triples: np.ndarray  # (n, 3) int64
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_relations + self.num_concepts
+
+    def relation_node(self, relation: int) -> int:
+        return relation
+
+    def concept_node(self, concept: int) -> int:
+        return self.num_relations + concept
+
+    def statistics(self) -> Dict[str, int]:
+        return {"nodes": self.num_nodes, "triples": len(self.triples)}
+
+
+def build_schema_graph(ontology: Ontology) -> SchemaGraph:
+    """Materialise the RDFS schema graph of a generative ontology."""
+    num_relations = ontology.num_relations
+    rows: List[Tuple[int, int, int]] = []
+
+    def concept(c: int) -> int:
+        return num_relations + c
+
+    # rdfs:domain / rdfs:range from relation signatures.
+    for sig in ontology.signatures:
+        rows.append((sig.relation, DOMAIN, concept(sig.domain)))
+        rows.append((sig.relation, RANGE, concept(sig.range)))
+    # rdfs:subPropertyOf from the relation hierarchy.
+    for child, parent in sorted(ontology.subproperty.items()):
+        rows.append((child, SUB_PROPERTY_OF, parent))
+    # rdfs:subClassOf from the concept hierarchy (root excluded: no self-loop).
+    for child, parent in enumerate(ontology.concept_parent):
+        if child != parent:
+            rows.append((concept(child), SUB_CLASS_OF, concept(parent)))
+
+    return SchemaGraph(
+        num_relations=num_relations,
+        num_concepts=ontology.num_concepts,
+        triples=np.asarray(sorted(set(rows)), dtype=np.int64),
+    )

@@ -1,0 +1,52 @@
+"""Pluggable schema pre-training backends.
+
+Paper §III-D2 pre-trains the schema graph "using KG embedding techniques
+e.g., the method by TransE" — the "e.g." makes the backend a free choice.
+This module runs *any* :mod:`repro.transductive` model over the schema
+graph's triples and extracts relation-node vectors, complementing the
+fast hand-rolled TransE in :mod:`repro.schema.transe`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.kg.triples import TripleSet
+from repro.schema.ontology import NUM_META_RELATIONS, SchemaGraph
+from repro.transductive import (
+    TransductiveTrainingConfig,
+    create_model,
+    train_transductive,
+)
+
+
+def pretrain_schema_with(
+    schema: SchemaGraph,
+    model_name: str = "TransE",
+    dim: int = 32,
+    config: Optional[TransductiveTrainingConfig] = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Pre-train ``model_name`` on the schema graph; return relation vectors.
+
+    Schema nodes play the entity role and the four RDFS meta-relations play
+    the relation role.  The returned array has one row per *KG relation*
+    (rows ``0..num_relations-1`` of the schema node space).
+    """
+    rng = np.random.default_rng(seed)
+    model = create_model(
+        model_name,
+        num_entities=schema.num_nodes,
+        num_relations=NUM_META_RELATIONS,
+        dim=dim,
+        rng=rng,
+    )
+    triples = TripleSet.from_array(schema.triples)
+    train_transductive(
+        model,
+        triples,
+        config or TransductiveTrainingConfig(epochs=60, seed=seed),
+    )
+    return model.entities.weight.data[: schema.num_relations].copy()

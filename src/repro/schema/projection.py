@@ -1,0 +1,40 @@
+"""Projection of schema semantic vectors into the message-passing space.
+
+Paper eq. (10): ``h0_ri = W1 (W2 h_onto_ri)`` — two stacked linear maps
+(no intermediate nonlinearity) from the TransE schema space to the relation
+embedding space used by the relational message passing network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Linear, Module, Tensor
+from repro.autograd.segment import gather
+
+
+class SchemaProjection(Module):
+    """Maps frozen schema vectors to trainable relation initialisations."""
+
+    def __init__(
+        self,
+        schema_vectors: np.ndarray,
+        output_dim: int,
+        rng: np.random.Generator,
+        hidden_dim: int = 0,
+    ) -> None:
+        super().__init__()
+        self.schema_vectors = Tensor(np.asarray(schema_vectors, dtype=np.float64))
+        schema_dim = self.schema_vectors.shape[1]
+        hidden_dim = hidden_dim or output_dim
+        self.inner = Linear(schema_dim, hidden_dim, rng, bias=False)
+        self.outer = Linear(hidden_dim, output_dim, rng, bias=False)
+
+    def forward(self, relation_ids) -> Tensor:
+        """Projected initial embeddings for the given relation ids."""
+        onto = gather(self.schema_vectors, np.asarray(relation_ids, dtype=np.int64))
+        return self.outer(self.inner(onto))
+
+    @property
+    def num_relations(self) -> int:
+        return self.schema_vectors.shape[0]

@@ -1,0 +1,148 @@
+"""K-hop enclosing and disclosing subgraph extraction (paper §III-B, §III-F).
+
+Given a target triple ``(u, r_t, v)``:
+
+* the **enclosing** subgraph is induced by ``N_K(u) ∩ N_K(v)`` — entities
+  within K undirected hops of *both* target entities — followed by pruning
+  of nodes that are isolated or farther than K from either target inside
+  the induced graph;
+* the **disclosing** subgraph is induced by ``N_K(u) ∪ N_K(v)`` and is used
+  to rescue triples whose enclosing subgraph is empty (§III-F).
+
+The target edge itself (every copy of ``(u, r, v)`` with the target
+relation) is removed from the extracted edge set so the model cannot read
+off the answer — the standard GraIL protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triples import Triple, TripleSet
+
+
+@dataclass(frozen=True)
+class ExtractedSubgraph:
+    """A subgraph around a target triple, in entity view.
+
+    ``triples`` never contains the target triple itself.  ``distances_u`` /
+    ``distances_v`` are shortest-path distances *inside the extracted
+    subgraph* (used for GraIL's double-radius labels); unreachable entities
+    are absent from the dicts.
+    """
+
+    head: int
+    relation: int
+    tail: int
+    entities: Tuple[int, ...]
+    triples: TripleSet
+    num_hops: int
+    distances_u: Dict[int, int] = field(default_factory=dict)
+    distances_v: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no edge survives extraction (the §III-F failure case)."""
+        return len(self.triples) == 0
+
+    def target(self) -> Triple:
+        return (self.head, self.relation, self.tail)
+
+
+def _internal_distances(
+    triples: TripleSet, source: int, max_hops: int
+) -> Dict[int, int]:
+    """BFS distances over the (undirected) extracted edge set."""
+    adjacency: Dict[int, Set[int]] = {}
+    for head, _rel, tail in triples:
+        adjacency.setdefault(head, set()).add(tail)
+        adjacency.setdefault(tail, set()).add(head)
+    distances = {source: 0}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        depth = distances[node]
+        if depth >= max_hops:
+            continue
+        for neighbor in adjacency.get(node, ()):
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                frontier.append(neighbor)
+    return distances
+
+
+def _drop_target_edges(triples: TripleSet, target: Triple) -> TripleSet:
+    head, relation, tail = target
+    return triples.filter(lambda t: t != (head, relation, tail))
+
+
+def extract_enclosing_subgraph(
+    graph: KnowledgeGraph,
+    target: Triple,
+    num_hops: int = 2,
+) -> ExtractedSubgraph:
+    """Extract the K-hop enclosing subgraph of ``target`` from ``graph``."""
+    head, relation, tail = (int(x) for x in target)
+    neighbors_u = graph.khop_neighbors(head, num_hops)
+    neighbors_v = graph.khop_neighbors(tail, num_hops)
+    common = neighbors_u & neighbors_v
+    common.add(head)
+    common.add(tail)
+
+    induced = graph.induced_subgraph_triples(common)
+    induced = _drop_target_edges(induced, (head, relation, tail))
+
+    # Prune: keep entities reachable within K hops of BOTH targets in the
+    # induced (target-edge-free) subgraph; the targets themselves always stay.
+    distances_u = _internal_distances(induced, head, num_hops)
+    distances_v = _internal_distances(induced, tail, num_hops)
+    kept = {
+        entity
+        for entity in common
+        if entity in distances_u and entity in distances_v
+    }
+    kept.add(head)
+    kept.add(tail)
+    final_triples = induced.filter(lambda t: t[0] in kept and t[2] in kept)
+    distances_u = {e: d for e, d in distances_u.items() if e in kept}
+    distances_v = {e: d for e, d in distances_v.items() if e in kept}
+
+    return ExtractedSubgraph(
+        head=head,
+        relation=relation,
+        tail=tail,
+        entities=tuple(sorted(kept)),
+        triples=final_triples,
+        num_hops=num_hops,
+        distances_u=distances_u,
+        distances_v=distances_v,
+    )
+
+
+def extract_disclosing_subgraph(
+    graph: KnowledgeGraph,
+    target: Triple,
+    num_hops: int = 2,
+) -> ExtractedSubgraph:
+    """Extract the K-hop disclosing subgraph (union of neighbor sets)."""
+    head, relation, tail = (int(x) for x in target)
+    union = graph.khop_neighbors(head, num_hops) | graph.khop_neighbors(tail, num_hops)
+    union.add(head)
+    union.add(tail)
+    induced = graph.induced_subgraph_triples(union)
+    induced = _drop_target_edges(induced, (head, relation, tail))
+    distances_u = _internal_distances(induced, head, num_hops)
+    distances_v = _internal_distances(induced, tail, num_hops)
+    return ExtractedSubgraph(
+        head=head,
+        relation=relation,
+        tail=tail,
+        entities=tuple(sorted(union)),
+        triples=induced,
+        num_hops=num_hops,
+        distances_u=distances_u,
+        distances_v=distances_v,
+    )

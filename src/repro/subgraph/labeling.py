@@ -1,0 +1,59 @@
+"""Double-radius entity labeling (GraIL's structural node features, §II-B).
+
+Each entity ``i`` of an extracted subgraph is labeled ``(d(i, u), d(i, v))``
+— its shortest distances to the target head/tail inside the subgraph — and
+encoded as the concatenation of two one-hot vectors of size ``K + 1``.
+Following the GraIL reference implementation, the targets themselves get the
+conventional labels ``u -> (0, 1)`` and ``v -> (1, 0)``.
+
+These labels are what make GraIL-style models entity-independent: two
+isomorphic subgraphs over different entities get identical features.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.subgraph.extraction import ExtractedSubgraph
+
+
+def node_labels(subgraph: ExtractedSubgraph) -> Dict[int, Tuple[int, int]]:
+    """Map each subgraph entity to its (d_u, d_v) label, clipped to K."""
+    max_hops = subgraph.num_hops
+    labels: Dict[int, Tuple[int, int]] = {}
+    for entity in subgraph.entities:
+        if entity == subgraph.head:
+            labels[entity] = (0, 1)
+            continue
+        if entity == subgraph.tail:
+            labels[entity] = (1, 0)
+            continue
+        d_u = subgraph.distances_u.get(entity, max_hops)
+        d_v = subgraph.distances_v.get(entity, max_hops)
+        labels[entity] = (min(d_u, max_hops), min(d_v, max_hops))
+    return labels
+
+
+def label_feature_dim(num_hops: int) -> int:
+    """Feature size of the one-hot encoded double-radius label."""
+    return 2 * (num_hops + 1)
+
+
+def encode_labels(subgraph: ExtractedSubgraph) -> Tuple[np.ndarray, Dict[int, int]]:
+    """One-hot encode labels for all subgraph entities.
+
+    Returns ``(features, index)`` where ``features[index[entity]]`` is the
+    ``2*(K+1)``-dim feature row of ``entity``.
+    """
+    labels = node_labels(subgraph)
+    max_hops = subgraph.num_hops
+    dim = label_feature_dim(max_hops)
+    index = {entity: i for i, entity in enumerate(subgraph.entities)}
+    features = np.zeros((len(subgraph.entities), dim), dtype=np.float64)
+    for entity, (d_u, d_v) in labels.items():
+        row = index[entity]
+        features[row, d_u] = 1.0
+        features[row, (max_hops + 1) + d_v] = 1.0
+    return features, index

@@ -1,0 +1,146 @@
+"""Entity-view → relation-view graph transformation (paper §III-B, Fig. 3).
+
+Every edge (triple occurrence) of the extracted subgraph becomes a *node* of
+the relational graph; two nodes are connected iff their triples share an
+entity.  Directed edges carry one of six connection-pattern types describing
+*how* the triples share entities:
+
+====  =========  =====================================================
+code  name       condition for an edge  a -> b  (a=(h1,r1,t1), b=(h2,r2,t2))
+====  =========  =====================================================
+0     H-H        h1 == h2  (heads coincide)
+1     H-T        h1 == t2  (a's head is b's tail)
+2     T-H        t1 == h2  (a's tail is b's head)
+3     T-T        t1 == t2  (tails coincide)
+4     PARA       h1 == h2 and t1 == t2  (parallel edges)
+5     LOOP       h1 == t2 and t1 == h2  (crossed heads/tails)
+====  =========  =====================================================
+
+PARA and LOOP subsume their component patterns (a parallel pair is typed
+PARA, not H-H + T-T).  The *target triple itself* is always added as a node
+(index :attr:`RelationalGraph.target_node`) so the message-passing network
+has a root to aggregate into even for candidate triples that are not facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.kg.triples import Triple
+from repro.subgraph.extraction import ExtractedSubgraph
+
+NUM_EDGE_TYPES = 6
+EDGE_TYPE_NAMES = ("H-H", "H-T", "T-H", "T-T", "PARA", "LOOP")
+
+H_H, H_T, T_H, T_T, PARA, LOOP = range(NUM_EDGE_TYPES)
+
+
+def connection_types(a: Triple, b: Triple) -> List[int]:
+    """All connection-pattern types for a directed edge ``a -> b``."""
+    h1, _r1, t1 = a
+    h2, _r2, t2 = b
+    if h1 == h2 and t1 == t2:
+        return [PARA]
+    if h1 == t2 and t1 == h2:
+        return [LOOP]
+    types: List[int] = []
+    if h1 == h2:
+        types.append(H_H)
+    if h1 == t2:
+        types.append(H_T)
+    if t1 == h2:
+        types.append(T_H)
+    if t1 == t2:
+        types.append(T_T)
+    return types
+
+
+@dataclass(frozen=True)
+class RelationalGraph:
+    """The relation-view graph R(G) of an extracted subgraph.
+
+    Attributes
+    ----------
+    node_triples:
+        Original (h, r, t) per node; node ids are positions in this tuple.
+    node_relations:
+        int64 array of each node's relation id (feature lookup key).
+    edges:
+        ``(m, 3)`` int64 array of ``(src_node, edge_type, dst_node)`` rows,
+        deduplicated and sorted.
+    target_node:
+        Index of the node standing for the target triple.
+    """
+
+    node_triples: Tuple[Triple, ...]
+    node_relations: np.ndarray
+    edges: np.ndarray
+    target_node: int
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_triples)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def incoming(self, node: int) -> np.ndarray:
+        """Edge rows whose destination is ``node``."""
+        if self.num_edges == 0:
+            return np.empty((0, 3), dtype=np.int64)
+        return self.edges[self.edges[:, 2] == node]
+
+
+def build_relational_graph(subgraph: ExtractedSubgraph) -> RelationalGraph:
+    """Transform an extracted (entity-view) subgraph into relation view."""
+    target = subgraph.target()
+    node_triples: List[Triple] = [target]
+    for triple in subgraph.triples:
+        node_triples.append(triple)
+
+    incident: Dict[int, List[int]] = {}
+    for node_id, (head, _rel, tail) in enumerate(node_triples):
+        incident.setdefault(head, []).append(node_id)
+        if tail != head:
+            incident.setdefault(tail, []).append(node_id)
+
+    edge_set: Set[Tuple[int, int, int]] = set()
+    for nodes in incident.values():
+        for a in nodes:
+            for b in nodes:
+                if a == b:
+                    continue
+                for edge_type in connection_types(node_triples[a], node_triples[b]):
+                    edge_set.add((a, edge_type, b))
+
+    if edge_set:
+        edges = np.asarray(sorted(edge_set), dtype=np.int64)
+    else:
+        edges = np.empty((0, 3), dtype=np.int64)
+    node_relations = np.asarray([t[1] for t in node_triples], dtype=np.int64)
+    return RelationalGraph(
+        node_triples=tuple(node_triples),
+        node_relations=node_relations,
+        edges=edges,
+        target_node=0,
+    )
+
+
+def target_one_hop_relations(subgraph: ExtractedSubgraph) -> List[int]:
+    """Relations of edges incident to the target head or tail.
+
+    These are exactly the one-hop neighbors of the target node in the
+    relation-view graph of ``subgraph`` — the neighborhood the disclosing
+    (NE) module aggregates (paper eq. 13).  Computed directly without
+    building the full (dense) relational graph of the disclosing subgraph.
+    """
+    u, v = subgraph.head, subgraph.tail
+    relations: List[int] = []
+    for head, rel, tail in subgraph.triples:
+        if head == u or tail == u or head == v or tail == v:
+            relations.append(rel)
+    return relations

@@ -1,0 +1,13 @@
+"""`repro.train` — training loops for subgraph-scoring models."""
+
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.trainer import Trainer, TrainingConfig, TrainingHistory, train_model
+
+__all__ = [
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+    "train_model",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,35 @@
+"""Model checkpointing: save/load parameter state to ``.npz`` archives.
+
+Works for any :class:`~repro.autograd.module.Module` tree via its
+``state_dict``; dotted parameter names are the archive keys.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.autograd.module import Module
+
+
+def save_checkpoint(model: Module, path: str) -> None:
+    """Write the model's parameters to ``path`` (``.npz`` appended by numpy
+    if missing)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    state = model.state_dict()
+    # npz keys cannot be empty; dotted names are fine.
+    np.savez(path, **state)
+
+
+def load_checkpoint(model: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    The model must have the same architecture (same parameter names and
+    shapes); mismatches raise ``KeyError``/``ValueError``.
+    """
+    if not path.endswith(".npz") and not os.path.exists(path):
+        path = path + ".npz"
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)

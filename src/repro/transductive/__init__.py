@@ -1,0 +1,39 @@
+"""`repro.transductive` — classic KG embedding models.
+
+TransE / TransH / DistMult / ComplEx / RotatE on the autograd engine, with
+a shared trainer and link-prediction evaluation.  Used as the pluggable
+schema pre-training backend (§III-D2 "KG embedding techniques e.g. TransE")
+and as transductive reference points for the related-work families (§V-A).
+"""
+
+from repro.transductive.models import (
+    MODEL_REGISTRY,
+    ComplEx,
+    DistMult,
+    RotatE,
+    TransductiveModel,
+    TransE,
+    TransH,
+    create_model,
+)
+from repro.transductive.trainer import (
+    LinkPredictionResult,
+    TransductiveTrainingConfig,
+    evaluate_link_prediction,
+    train_transductive,
+)
+
+__all__ = [
+    "TransductiveModel",
+    "TransE",
+    "TransH",
+    "DistMult",
+    "ComplEx",
+    "RotatE",
+    "MODEL_REGISTRY",
+    "create_model",
+    "TransductiveTrainingConfig",
+    "train_transductive",
+    "evaluate_link_prediction",
+    "LinkPredictionResult",
+]

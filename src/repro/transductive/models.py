@@ -1,0 +1,195 @@
+"""Transductive KG embedding models (paper §V-A lineage).
+
+The paper's related-work taxonomy covers three families of transductive
+scorers; the schema pre-training step (§III-D2) says relation semantics are
+learned "using KG embedding techniques e.g., the method by TransE".  This
+package implements the classic members of each family on the autograd
+engine so (i) schema pre-training can use any of them, and (ii) they serve
+as transductive reference points:
+
+* translation-based — :class:`TransE` (Bordes et al. 2013),
+  :class:`TransH` (Wang et al. 2014), :class:`RotatE` (Sun et al. 2019);
+* semantic matching — :class:`DistMult` (Yang et al. 2015),
+  :class:`ComplEx` (Trouillon et al. 2016).
+
+All models share the :class:`TransductiveModel` interface: integer-id score
+batches in, ``(n,)`` score tensors out (higher = more plausible).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd import Embedding, Module, Tensor, ops
+from repro.autograd.segment import gather
+
+
+class TransductiveModel(Module):
+    """Base class: entity/relation tables + a score function."""
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        dim: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self.entities = Embedding(num_entities, dim, rng)
+        self.relations = Embedding(num_relations, dim, rng)
+
+    # ------------------------------------------------------------------
+    def score(self, heads, relations, tails) -> Tensor:
+        """Differentiable scores, shape ``(n,)``; higher = more plausible."""
+        raise NotImplementedError
+
+    def score_array(self, triples: Sequence) -> np.ndarray:
+        """Eval-mode numpy scores for (h, r, t) tuples."""
+        array = np.asarray([tuple(t) for t in triples], dtype=np.int64)
+        return self.score(array[:, 0], array[:, 1], array[:, 2]).data
+
+    def relation_vectors(self) -> np.ndarray:
+        """The learned relation embedding table (used for schema vectors)."""
+        return self.relations.weight.data.copy()
+
+
+class TransE(TransductiveModel):
+    """``-||h + r - t||_2`` — translations in a single real space."""
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entities(heads)
+        r = self.relations(relations)
+        t = self.entities(tails)
+        delta = ops.sub(ops.add(h, r), t)
+        return ops.mul(ops.sqrt(ops.sum(ops.mul(delta, delta), axis=1)), -1.0)
+
+
+class TransH(TransductiveModel):
+    """TransE on relation-specific hyperplanes.
+
+    Entities are projected onto the hyperplane with normal ``w_r`` before
+    translation: ``h_perp = h - (w.h) w``.
+    """
+
+    def __init__(self, num_entities, num_relations, dim, rng) -> None:
+        super().__init__(num_entities, num_relations, dim, rng)
+        self.normals = Embedding(num_relations, dim, rng)
+
+    def _project(self, vectors: Tensor, normals: Tensor) -> Tensor:
+        # Normalise the normals so the projection is well-conditioned.
+        norm = ops.sqrt(ops.sum(ops.mul(normals, normals), axis=1, keepdims=True))
+        unit = ops.div(normals, ops.add(norm, 1e-9))
+        dots = ops.sum(ops.mul(vectors, unit), axis=1, keepdims=True)
+        return ops.sub(vectors, ops.mul(dots, unit))
+
+    def score(self, heads, relations, tails) -> Tensor:
+        w = self.normals(relations)
+        h = self._project(self.entities(heads), w)
+        t = self._project(self.entities(tails), w)
+        r = self.relations(relations)
+        delta = ops.sub(ops.add(h, r), t)
+        return ops.mul(ops.sqrt(ops.sum(ops.mul(delta, delta), axis=1)), -1.0)
+
+
+class DistMult(TransductiveModel):
+    """``<h, diag(r), t>`` — symmetric bilinear matching."""
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entities(heads)
+        r = self.relations(relations)
+        t = self.entities(tails)
+        return ops.sum(ops.mul(ops.mul(h, r), t), axis=1)
+
+
+class ComplEx(TransductiveModel):
+    """Complex bilinear matching: ``Re(<h, r, conj(t)>)``.
+
+    The ``dim`` real dimensions are split into real/imaginary halves.
+    """
+
+    def __init__(self, num_entities, num_relations, dim, rng) -> None:
+        if dim % 2 != 0:
+            raise ValueError("ComplEx needs an even dimension")
+        super().__init__(num_entities, num_relations, dim, rng)
+        self.half = dim // 2
+
+    def _split(self, x: Tensor):
+        n = x.shape[0]
+        real = ops.matmul(x, Tensor(np.vstack([np.eye(self.half), np.zeros((self.half, self.half))])))
+        imag = ops.matmul(x, Tensor(np.vstack([np.zeros((self.half, self.half)), np.eye(self.half)])))
+        return real, imag
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h_re, h_im = self._split(self.entities(heads))
+        r_re, r_im = self._split(self.relations(relations))
+        t_re, t_im = self._split(self.entities(tails))
+        # Re(<h, r, conj(t)>) expanded into four real trilinear terms.
+        term1 = ops.mul(ops.mul(h_re, r_re), t_re)
+        term2 = ops.mul(ops.mul(h_im, r_re), t_im)
+        term3 = ops.mul(ops.mul(h_re, r_im), t_im)
+        term4 = ops.mul(ops.mul(h_im, r_im), t_re)
+        combined = ops.sub(ops.add(ops.add(term1, term2), term3), term4)
+        return ops.sum(combined, axis=1)
+
+
+class RotatE(TransductiveModel):
+    """Relations as rotations in the complex plane: ``-||h ∘ r - t||``.
+
+    Relation parameters are interpreted as phase angles; entity dimensions
+    split into real/imaginary halves as in ComplEx.
+    """
+
+    def __init__(self, num_entities, num_relations, dim, rng) -> None:
+        if dim % 2 != 0:
+            raise ValueError("RotatE needs an even dimension")
+        super().__init__(num_entities, num_relations, dim, rng)
+        self.half = dim // 2
+        self._re_proj = Tensor(
+            np.vstack([np.eye(self.half), np.zeros((self.half, self.half))])
+        )
+        self._im_proj = Tensor(
+            np.vstack([np.zeros((self.half, self.half)), np.eye(self.half)])
+        )
+        self._phase_proj = Tensor(np.eye(dim)[:, : self.half])
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entities(heads)
+        t = self.entities(tails)
+        h_re, h_im = ops.matmul(h, self._re_proj), ops.matmul(h, self._im_proj)
+        t_re, t_im = ops.matmul(t, self._re_proj), ops.matmul(t, self._im_proj)
+        phases = ops.matmul(self.relations(relations), self._phase_proj)
+        r_re, r_im = ops.cos(phases), ops.sin(phases)
+        # (h_re + i h_im)(r_re + i r_im) - (t_re + i t_im)
+        rot_re = ops.sub(ops.mul(h_re, r_re), ops.mul(h_im, r_im))
+        rot_im = ops.add(ops.mul(h_re, r_im), ops.mul(h_im, r_re))
+        d_re = ops.sub(rot_re, t_re)
+        d_im = ops.sub(rot_im, t_im)
+        sq = ops.add(ops.mul(d_re, d_re), ops.mul(d_im, d_im))
+        return ops.mul(ops.sqrt(ops.sum(sq, axis=1)), -1.0)
+
+
+MODEL_REGISTRY = {
+    "TransE": TransE,
+    "TransH": TransH,
+    "DistMult": DistMult,
+    "ComplEx": ComplEx,
+    "RotatE": RotatE,
+}
+
+
+def create_model(
+    name: str,
+    num_entities: int,
+    num_relations: int,
+    dim: int,
+    rng: np.random.Generator,
+) -> TransductiveModel:
+    """Instantiate a transductive model by name."""
+    if name not in MODEL_REGISTRY:
+        raise ValueError(f"unknown transductive model {name!r}; choose from {sorted(MODEL_REGISTRY)}")
+    return MODEL_REGISTRY[name](num_entities, num_relations, dim, rng)

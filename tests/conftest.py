@@ -1,0 +1,57 @@
+"""Shared fixtures: small deterministic graphs and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    KnowledgeGraph,
+    TripleSet,
+    build_full_benchmark,
+    build_partial_benchmark,
+    build_ext_benchmark,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def family_graph():
+    """The paper's Fig. 1/Fig. 3 style family graph.
+
+    Entities: 0=A, 1=B, 2=C, 3=D, 4=E, 5=F
+    Relations: 0=husband_of, 1=daughter_of, 2=mother_of, 3=father_of,
+               4=son_of, 5=lives_in, 6=address
+    """
+    triples = TripleSet(
+        [
+            (0, 0, 1),  # A husband_of B
+            (2, 1, 0),  # C daughter_of A
+            (1, 2, 2),  # B mother_of C
+            (3, 4, 1),  # D son_of B
+            (0, 3, 3),  # A father_of D
+            (0, 3, 4),  # A father_of E
+            (1, 5, 5),  # B lives_in F
+            (5, 6, 1),  # F address B
+        ]
+    )
+    return KnowledgeGraph(triples, num_entities=6, num_relations=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_partial_benchmark():
+    return build_partial_benchmark("NELL-995", 1, scale=0.05, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_full_benchmark():
+    return build_full_benchmark("NELL-995", 1, 3, scale=0.05, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_ext_benchmark():
+    return build_ext_benchmark("NELL-995", scale=0.05, seed=0)

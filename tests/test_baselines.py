@@ -1,0 +1,144 @@
+"""Baseline model tests: GraIL, TACT(-base), CoMPILE."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TACT, CoMPILE, GraIL, TACTBase
+from repro.kg import KnowledgeGraph
+
+
+@pytest.fixture
+def rng0():
+    return np.random.default_rng(0)
+
+
+class TestGraIL:
+    def test_sample_includes_target_edge(self, family_graph, rng0):
+        model = GraIL(family_graph.num_relations, rng0)
+        sample = model.prepare(family_graph, (0, 0, 1))
+        # Extraction removes the target edge, prepare adds it back: the last
+        # edge row is the target.
+        assert sample.edge_relations[-1] == 0
+        assert sample.edge_heads[-1] == sample.head_index
+        assert sample.edge_tails[-1] == sample.tail_index
+
+    def test_features_are_double_radius(self, family_graph, rng0):
+        model = GraIL(family_graph.num_relations, rng0, num_hops=2)
+        sample = model.prepare(family_graph, (0, 0, 1))
+        assert sample.init_features.shape[1] == 6  # 2 * (K+1)
+
+    def test_score_finite(self, family_graph, rng0):
+        model = GraIL(family_graph.num_relations, rng0)
+        score = model.score_triples(family_graph, [(0, 0, 1), (2, 0, 3)])
+        assert np.isfinite(score).all()
+
+    def test_gradients_flow(self, family_graph, rng0):
+        model = GraIL(family_graph.num_relations, rng0)
+        model.score_sample(model.prepare(family_graph, (0, 0, 1))).backward()
+        assert model.relation_embedding.weight.grad is not None
+        assert model.input_proj.weight.grad is not None
+
+    def test_empty_subgraph_scoreable(self, rng0):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (2, 0, 3)])
+        model = GraIL(g.num_relations, rng0)
+        score = model.score_triples(g, [(0, 0, 3)])
+        assert np.isfinite(score).all()
+
+    def test_entity_independence(self, rng0):
+        # Two isomorphic graphs over disjoint entity ids must get identical
+        # scores — GraIL never indexes entities directly.
+        g1 = KnowledgeGraph.from_triples(
+            [(0, 0, 1), (1, 1, 2), (0, 2, 2)], num_entities=20, num_relations=3
+        )
+        g2 = KnowledgeGraph.from_triples(
+            [(10, 0, 11), (11, 1, 12), (10, 2, 12)], num_entities=20, num_relations=3
+        )
+        model = GraIL(3, rng0)
+        model.eval()
+        s1 = model.score_triples(g1, [(0, 2, 2)])
+        s2 = model.score_triples(g2, [(10, 2, 12)])
+        assert s1 == pytest.approx(s2)
+
+
+class TestTACTBase:
+    def test_neighborhood_sample(self, family_graph, rng0):
+        model = TACTBase(family_graph.num_relations, rng0)
+        sample = model.prepare(family_graph, (0, 0, 1))
+        assert len(sample.neighbor_relations) == len(sample.neighbor_types)
+        assert (sample.neighbor_types < 6).all()
+
+    def test_score_finite(self, family_graph, rng0):
+        model = TACTBase(family_graph.num_relations, rng0)
+        score = model.score_triples(family_graph, [(0, 0, 1)])
+        assert np.isfinite(score).all()
+
+    def test_isolated_target_scores_from_embedding(self, rng0):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (2, 0, 3)])
+        model = TACTBase(g.num_relations, rng0)
+        score = model.score_triples(g, [(0, 0, 3)])
+        assert np.isfinite(score).all()
+
+    def test_one_hop_only(self, family_graph, rng0):
+        # TACT-base aggregates one hop: neighbors must all be adjacent to the
+        # target triple (share an entity with it).
+        model = TACTBase(family_graph.num_relations, rng0)
+        sample = model.prepare(family_graph, (0, 0, 1))
+        adjacent_relations = set()
+        for h, r, t in family_graph.triples:
+            if {h, t} & {0, 1} and (h, r, t) != (0, 0, 1):
+                adjacent_relations.add(r)
+        assert set(sample.neighbor_relations.tolist()) <= adjacent_relations
+
+    def test_schema_variant(self, family_graph, rng0):
+        vectors = np.random.default_rng(1).normal(size=(7, 10))
+        model = TACTBase(family_graph.num_relations, rng0, schema_vectors=vectors)
+        assert "+schema" in model.name
+        assert np.isfinite(model.score_triples(family_graph, [(0, 0, 1)])).all()
+
+
+class TestTACTFull:
+    def test_score_finite(self, family_graph, rng0):
+        model = TACT(family_graph.num_relations, rng0)
+        score = model.score_triples(family_graph, [(0, 0, 1)])
+        assert np.isfinite(score).all()
+
+    def test_sample_carries_both_views(self, family_graph, rng0):
+        model = TACT(family_graph.num_relations, rng0)
+        sample = model.prepare(family_graph, (0, 0, 1))
+        assert sample.grail is not None
+        assert sample.neighbor_relations is not None
+
+    def test_gradients_flow_to_both_modules(self, family_graph, rng0):
+        model = TACT(family_graph.num_relations, rng0)
+        model.score_sample(model.prepare(family_graph, (0, 0, 1))).backward()
+        assert model.embedding.table.weight.grad is not None
+        assert model.entity_module.input_proj.weight.grad is not None
+
+
+class TestCoMPILE:
+    def test_target_edge_tracked(self, family_graph, rng0):
+        model = CoMPILE(family_graph.num_relations, rng0)
+        sample = model.prepare(family_graph, (0, 0, 1))
+        assert sample.edge_relations[sample.target_edge] == 0
+
+    def test_score_finite(self, family_graph, rng0):
+        model = CoMPILE(family_graph.num_relations, rng0)
+        score = model.score_triples(family_graph, [(0, 0, 1), (2, 0, 3)])
+        assert np.isfinite(score).all()
+
+    def test_edges_and_nodes_communicate(self, family_graph, rng0):
+        # Changing a relation embedding must change the final score (edges
+        # feed nodes feed edges).
+        model = CoMPILE(family_graph.num_relations, rng0)
+        model.eval()
+        before = model.score_triples(family_graph, [(0, 0, 1)])[0]
+        model.relation_embedding.weight.data = (
+            model.relation_embedding.weight.data + 1.0
+        )
+        after = model.score_triples(family_graph, [(0, 0, 1)])[0]
+        assert before != pytest.approx(after)
+
+    def test_gradients_flow(self, family_graph, rng0):
+        model = CoMPILE(family_graph.num_relations, rng0)
+        model.score_sample(model.prepare(family_graph, (0, 0, 1))).backward()
+        assert model.relation_embedding.weight.grad is not None

@@ -1,0 +1,96 @@
+"""Batched (disjoint-union) scoring tests: equivalence with per-sample."""
+
+import numpy as np
+import pytest
+
+from repro.core import RMPI, RMPIConfig
+from repro.core.batching import merge_plans
+
+
+@pytest.fixture
+def bench(tiny_partial_benchmark):
+    return tiny_partial_benchmark
+
+
+def some_triples(bench, n=12):
+    return list(bench.train_triples)[:n]
+
+
+class TestMergePlans:
+    def test_node_counts_add_up(self, bench):
+        model = RMPI(bench.num_relations, np.random.default_rng(0))
+        plans = [
+            model.prepared(bench.train_graph, t).plan for t in some_triples(bench, 5)
+        ]
+        merged = merge_plans(plans)
+        assert merged.num_nodes == sum(p.num_nodes for p in plans)
+        assert merged.num_samples == 5
+
+    def test_targets_point_at_relation_of_sample(self, bench):
+        model = RMPI(bench.num_relations, np.random.default_rng(0))
+        triples = some_triples(bench, 5)
+        plans = [model.prepared(bench.train_graph, t).plan for t in triples]
+        merged = merge_plans(plans)
+        for i, triple in enumerate(triples):
+            assert merged.node_relations[merged.target_indices[i]] == triple[1]
+
+    def test_edges_stay_within_sample_blocks(self, bench):
+        model = RMPI(bench.num_relations, np.random.default_rng(0))
+        plans = [
+            model.prepared(bench.train_graph, t).plan for t in some_triples(bench, 6)
+        ]
+        merged = merge_plans(plans)
+        bounds = list(merged.sample_offsets) + [merged.num_nodes]
+        for layer in merged.layers:
+            for src, _etype, dst in layer.edges:
+                # src and dst fall in the same sample block.
+                block_src = np.searchsorted(bounds, src, side="right") - 1
+                block_dst = np.searchsorted(bounds, dst, side="right") - 1
+                assert block_src == block_dst
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            merge_plans([])
+
+    def test_mixed_depth_raises(self, bench):
+        model2 = RMPI(bench.num_relations, np.random.default_rng(0), RMPIConfig(num_layers=2))
+        model1 = RMPI(bench.num_relations, np.random.default_rng(0), RMPIConfig(num_layers=1))
+        triple = some_triples(bench, 1)[0]
+        plan2 = model2.prepare(bench.train_graph, triple).plan
+        plan1 = model1.prepare(bench.train_graph, triple).plan
+        with pytest.raises(ValueError):
+            merge_plans([plan2, plan1])
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        RMPIConfig(embed_dim=16, dropout=0.0),
+        RMPIConfig(embed_dim=16, dropout=0.0, use_target_attention=True),
+        RMPIConfig(embed_dim=16, dropout=0.0, use_disclosing=True),
+        RMPIConfig(
+            embed_dim=16,
+            dropout=0.0,
+            use_disclosing=True,
+            use_target_attention=True,
+            fusion="concat",
+        ),
+        RMPIConfig(embed_dim=16, dropout=0.0, use_entity_clues=True),
+    ],
+    ids=["base", "TA", "NE", "NE-TA-concat", "EC"],
+)
+class TestBatchedEquivalence:
+    def test_matches_per_sample_scores(self, bench, config):
+        model = RMPI(bench.num_relations, np.random.default_rng(0), config)
+        model.eval()
+        triples = some_triples(bench, 10)
+        per_sample = model.score_batch(bench.train_graph, triples).data.reshape(-1)
+        fused = model.score_batch_fused(bench.train_graph, triples).data.reshape(-1)
+        assert np.allclose(per_sample, fused, atol=1e-10)
+
+    def test_gradients_flow_through_fused_path(self, bench, config):
+        model = RMPI(bench.num_relations, np.random.default_rng(0), config)
+        model.eval()
+        scores = model.score_batch_fused(bench.train_graph, some_triples(bench, 4))
+        scores.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())

@@ -1,0 +1,145 @@
+"""Benchmark suite construction tests (Table I analogues)."""
+
+import pytest
+
+from repro.kg import (
+    FAMILIES,
+    FULL_BENCHMARK_SPECS,
+    build_ext_benchmark,
+    build_full_benchmark,
+    build_partial_benchmark,
+    family_ontology,
+)
+
+
+class TestFamilies:
+    def test_three_families(self):
+        assert set(FAMILIES) == {"WN18RR", "FB15k-237", "NELL-995"}
+
+    def test_family_ontology_cached(self):
+        assert family_ontology("WN18RR") is family_ontology("WN18RR")
+
+    def test_ontology_covers_max_relations_plus_extensions(self):
+        config = FAMILIES["NELL-995"]
+        ontology = family_ontology("NELL-995")
+        assert ontology.num_relations == max(config.relations) + config.extension_relations
+
+
+class TestPartialBenchmark:
+    def test_train_relations_are_version_prefix(self, tiny_partial_benchmark):
+        config = FAMILIES["NELL-995"]
+        assert tiny_partial_benchmark.seen_relations <= set(range(config.relations[0]))
+
+    def test_test_relations_subset_of_train_relations(self, tiny_partial_benchmark):
+        b = tiny_partial_benchmark
+        test_rels = b.test_graph.triples.relation_ids() | b.test_triples.relation_ids()
+        config = FAMILIES["NELL-995"]
+        assert test_rels <= set(range(config.relations[0]))
+        assert b.unseen_test_relations() <= test_rels
+
+    def test_targets_not_in_context(self, tiny_partial_benchmark):
+        b = tiny_partial_benchmark
+        context = set(b.test_graph.triples)
+        assert all(t not in context for t in b.test_triples)
+
+    def test_train_valid_disjoint(self, tiny_partial_benchmark):
+        b = tiny_partial_benchmark
+        assert not (set(b.train_triples) & set(b.valid_triples))
+
+    def test_train_targets_inside_train_graph(self, tiny_partial_benchmark):
+        b = tiny_partial_benchmark
+        graph_triples = set(b.train_graph.triples)
+        assert all(t in graph_triples for t in b.train_triples)
+
+    def test_statistics_shape(self, tiny_partial_benchmark):
+        stats = tiny_partial_benchmark.statistics()
+        assert set(stats) == {"train", "test"}
+        assert stats["train"]["triples"] > 0
+
+    def test_bad_version_raises(self):
+        with pytest.raises(ValueError):
+            build_partial_benchmark("WN18RR", 5)
+
+    def test_deterministic(self):
+        a = build_partial_benchmark("WN18RR", 1, scale=0.05, seed=3)
+        b = build_partial_benchmark("WN18RR", 1, scale=0.05, seed=3)
+        assert a.train_triples == b.train_triples
+        assert a.test_triples == b.test_triples
+
+
+class TestFullBenchmark:
+    def test_unseen_relations_exist(self, tiny_full_benchmark):
+        assert len(tiny_full_benchmark.unseen_relations()) > 0
+
+    def test_fully_graph_has_no_seen_relations(self, tiny_full_benchmark):
+        b = tiny_full_benchmark
+        rels = (
+            b.fully_test_graph.triples.relation_ids()
+            | b.fully_test_triples.relation_ids()
+        )
+        assert not (rels & b.seen_relations)
+
+    def test_semi_graph_mixes_seen_and_unseen(self, tiny_full_benchmark):
+        b = tiny_full_benchmark
+        rels = b.semi_test_graph.triples.relation_ids()
+        assert rels & b.seen_relations
+        assert rels - b.seen_relations
+
+    def test_as_partial_views(self, tiny_full_benchmark):
+        semi = tiny_full_benchmark.as_partial("semi")
+        fully = tiny_full_benchmark.as_partial("fully")
+        assert semi.test_triples == tiny_full_benchmark.semi_test_triples
+        assert fully.test_triples == tiny_full_benchmark.fully_test_triples
+        with pytest.raises(ValueError):
+            tiny_full_benchmark.as_partial("bogus")
+
+    def test_requires_extra_relations(self):
+        with pytest.raises(ValueError):
+            build_full_benchmark("NELL-995", 3, 1)
+
+    def test_paper_spec_list_buildable(self):
+        # All four Table Ib re-combinations must construct.
+        for family, i, j in FULL_BENCHMARK_SPECS:
+            b = build_full_benchmark(family, i, j, scale=0.04, seed=0)
+            assert len(b.semi_test_triples) > 0
+            assert len(b.fully_test_triples) > 0
+
+
+class TestExtBenchmark:
+    def test_target_categories_present(self, tiny_ext_benchmark):
+        assert set(tiny_ext_benchmark.targets) == {"u_ent", "u_rel", "u_both"}
+
+    def test_u_ent_semantics(self, tiny_ext_benchmark):
+        b = tiny_ext_benchmark
+        for head, rel, tail in b.targets["u_ent"]:
+            assert head not in b.seen_entities and tail not in b.seen_entities
+            assert rel in b.seen_relations
+
+    def test_u_rel_semantics(self, tiny_ext_benchmark):
+        b = tiny_ext_benchmark
+        for head, rel, tail in b.targets["u_rel"]:
+            assert head in b.seen_entities and tail in b.seen_entities
+            assert rel not in b.seen_relations
+
+    def test_u_both_semantics(self, tiny_ext_benchmark):
+        b = tiny_ext_benchmark
+        for head, rel, tail in b.targets["u_both"]:
+            assert rel not in b.seen_relations
+            assert head not in b.seen_entities or tail not in b.seen_entities
+
+    def test_train_graph_pure(self, tiny_ext_benchmark):
+        b = tiny_ext_benchmark
+        for head, rel, tail in b.train_graph.triples:
+            assert head in b.seen_entities and tail in b.seen_entities
+            assert rel in b.seen_relations
+
+    def test_seen_sets_match_train_graph(self, tiny_ext_benchmark):
+        b = tiny_ext_benchmark
+        assert b.seen_relations == frozenset(b.train_graph.triples.relation_ids())
+        assert b.seen_entities == frozenset(b.train_graph.triples.entities())
+
+    def test_targets_excluded_from_test_context(self, tiny_ext_benchmark):
+        b = tiny_ext_benchmark
+        context = set(b.test_graph.triples)
+        for targets in b.targets.values():
+            assert all(t not in context for t in targets)

@@ -1,0 +1,149 @@
+"""Tests for checkpointing, graph analysis, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import RMPI, RMPIConfig
+from repro.kg import KnowledgeGraph
+from repro.kg.analysis import (
+    characterise,
+    connectivity_summary,
+    degree_statistics,
+    density,
+    relation_frequencies,
+    to_networkx,
+)
+from repro.train import load_checkpoint, save_checkpoint
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path, family_graph):
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(model, path)
+        other = RMPI(family_graph.num_relations, np.random.default_rng(99))
+        load_checkpoint(other, path)
+        for (n1, p1), (n2, p2) in zip(
+            model.named_parameters(), other.named_parameters()
+        ):
+            assert n1 == n2 and np.allclose(p1.data, p2.data)
+
+    def test_roundtrip_preserves_scores(self, tmp_path, family_graph):
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        model.eval()
+        before = model.score_triples(family_graph, [(0, 0, 1)])
+        path = str(tmp_path / "model")
+        save_checkpoint(model, path)
+        clone = RMPI(family_graph.num_relations, np.random.default_rng(7))
+        load_checkpoint(clone, path)  # extension-less path resolves to .npz
+        clone.eval()
+        after = clone.score_triples(family_graph, [(0, 0, 1)])
+        assert before == pytest.approx(after)
+
+    def test_architecture_mismatch_raises(self, tmp_path, family_graph):
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        path = str(tmp_path / "model.npz")
+        save_checkpoint(model, path)
+        other = RMPI(
+            family_graph.num_relations,
+            np.random.default_rng(0),
+            RMPIConfig(use_disclosing=True),
+        )
+        with pytest.raises(KeyError):
+            load_checkpoint(other, path)
+
+
+class TestAnalysis:
+    def test_degree_statistics(self, family_graph):
+        stats = degree_statistics(family_graph)
+        assert stats["max"] >= stats["mean"] >= 1.0
+
+    def test_empty_graph(self):
+        g = KnowledgeGraph.from_triples([])
+        assert degree_statistics(g) == {"mean": 0.0, "median": 0.0, "max": 0.0}
+        assert density(g) == 0.0
+        assert connectivity_summary(g)["components"] == 0
+
+    def test_relation_frequencies(self, family_graph):
+        freqs = relation_frequencies(family_graph)
+        assert freqs[3] == 2  # father_of occurs twice
+        assert sum(freqs.values()) == len(family_graph.triples)
+
+    def test_to_networkx(self, family_graph):
+        g = to_networkx(family_graph)
+        assert g.number_of_edges() == len(family_graph.triples)
+
+    def test_connectivity(self, family_graph):
+        summary = connectivity_summary(family_graph)
+        assert summary["components"] == 1.0
+        assert summary["largest_fraction"] == 1.0
+
+    def test_characterise_keys(self, family_graph):
+        summary = characterise(family_graph)
+        assert {"density", "degree_mean", "components", "relations_present"} <= set(summary)
+
+
+class TestCLI:
+    def test_models(self, capsys):
+        assert cli_main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "RMPI-NE-TA" in out and "GraIL" in out
+
+    def test_stats(self, capsys):
+        assert cli_main(["stats", "--family", "WN18RR", "--version", "1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "WN18RR.v1" in out and "density" in out
+
+    def test_run(self, capsys):
+        code = cli_main(
+            [
+                "run",
+                "--family",
+                "NELL-995",
+                "--version",
+                "1",
+                "--model",
+                "TACT-base",
+                "--epochs",
+                "1",
+                "--max-triples",
+                "15",
+                "--scale",
+                "0.05",
+                "--negatives",
+                "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AUC-PR" in out and "Hits@10" in out
+
+    def test_full(self, capsys):
+        code = cli_main(
+            [
+                "full",
+                "--family",
+                "NELL-995",
+                "--train-version",
+                "1",
+                "--test-version",
+                "3",
+                "--setting",
+                "fully",
+                "--model",
+                "TACT-base",
+                "--epochs",
+                "1",
+                "--max-triples",
+                "15",
+                "--scale",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        assert "fully" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["bogus"])

@@ -1,0 +1,136 @@
+"""Experiment runner and table formatting tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import RMPI
+from repro.baselines import TACT, CoMPILE, GraIL, TACTBase
+from repro.experiments import (
+    MODEL_NAMES,
+    bench_settings,
+    format_table,
+    make_model,
+    results_to_rows,
+    run_experiment,
+    run_full_experiment,
+    schema_vectors_for,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.train import TrainingConfig
+
+
+class TestMakeModel:
+    def test_all_names_construct(self):
+        for name in MODEL_NAMES:
+            model = make_model(name, num_relations=10, seed=0, embed_dim=8)
+            assert model is not None
+
+    def test_types(self):
+        assert isinstance(make_model("GraIL", 10), GraIL)
+        assert isinstance(make_model("TACT", 10), TACT)
+        assert isinstance(make_model("TACT-base", 10), TACTBase)
+        assert isinstance(make_model("CoMPILE", 10), CoMPILE)
+        assert isinstance(make_model("RMPI-NE-TA", 10), RMPI)
+
+    def test_rmpi_flags(self):
+        model = make_model("RMPI-NE-TA", 10)
+        assert model.config.use_disclosing and model.config.use_target_attention
+        base = make_model("RMPI-base", 10)
+        assert not base.config.use_disclosing and not base.config.use_target_attention
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_model("DistMult", 10)
+
+    def test_fusion_passthrough(self):
+        model = make_model("RMPI-NE", 10, fusion="concat")
+        assert model.config.fusion == "concat"
+
+
+class TestSchemaVectors:
+    def test_cached_per_ontology(self, tiny_partial_benchmark):
+        a = schema_vectors_for(tiny_partial_benchmark.ontology)
+        b = schema_vectors_for(tiny_partial_benchmark.ontology)
+        assert a is b
+
+    def test_covers_all_relations(self, tiny_partial_benchmark):
+        vectors = schema_vectors_for(tiny_partial_benchmark.ontology)
+        assert vectors.shape[0] == tiny_partial_benchmark.ontology.num_relations
+
+
+class TestRunExperiment:
+    def test_partial_run(self, tiny_partial_benchmark):
+        result = run_experiment(
+            tiny_partial_benchmark,
+            "RMPI-base",
+            TrainingConfig(epochs=1, seed=0, max_triples_per_epoch=20),
+            num_negatives=5,
+            embed_dim=8,
+        )
+        assert set(result.metrics) == {"AUC-PR", "MRR", "Hits@10", "Hits@1"}
+        assert result.benchmark == tiny_partial_benchmark.name
+
+    def test_schema_label(self, tiny_partial_benchmark):
+        result = run_experiment(
+            tiny_partial_benchmark,
+            "TACT-base",
+            TrainingConfig(epochs=1, seed=0, max_triples_per_epoch=10),
+            use_schema=True,
+            num_negatives=5,
+            embed_dim=8,
+        )
+        assert result.model == "TACT-base+schema"
+
+    def test_full_settings(self, tiny_full_benchmark):
+        for setting in ("semi", "fully"):
+            result = run_full_experiment(
+                tiny_full_benchmark,
+                "TACT-base",
+                setting,
+                TrainingConfig(epochs=1, seed=0, max_triples_per_epoch=10),
+                embed_dim=8,
+            )
+            assert setting in result.benchmark
+
+
+class TestTables:
+    def test_format_basic(self):
+        table = format_table(["a", "b"], [["x", 1.234], ["yy", 5.0]])
+        lines = table.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "1.23" in table
+
+    def test_title(self):
+        table = format_table(["h"], [["v"]], title="Table II")
+        assert table.startswith("Table II")
+
+    def test_results_to_rows(self):
+        results = [
+            ExperimentResult("bench", "model", {"AUC-PR": 90.0, "MRR": 50.0}),
+        ]
+        rows = results_to_rows(results, ["AUC-PR", "MRR", "Hits@10"])
+        assert rows[0][0] == "model"
+        assert rows[0][2] == 90.0
+        assert np.isnan(rows[0][4])  # missing metric -> NaN
+
+
+class TestBenchSettings:
+    def test_defaults(self, monkeypatch):
+        for var in (
+            "REPRO_BENCH_SCALE",
+            "REPRO_BENCH_EPOCHS",
+            "REPRO_BENCH_SEED",
+            "REPRO_BENCH_MAX_TRIPLES",
+            "REPRO_BENCH_NEGATIVES",
+        ):
+            monkeypatch.delenv(var, raising=False)
+        settings = bench_settings()
+        assert settings.scale > 0
+        assert settings.training_config().epochs == settings.epochs
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.2")
+        monkeypatch.setenv("REPRO_BENCH_EPOCHS", "7")
+        settings = bench_settings()
+        assert settings.scale == 0.2
+        assert settings.epochs == 7

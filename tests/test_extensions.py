@@ -1,0 +1,124 @@
+"""Tests for the future-work extensions (paper §VI):
+
+* scaled dot-product target attention ('more robust TA mechanisms'),
+* gated fusion ('more robust fusion functions'),
+* entity-clue augmentation ('assembling reasoning clues from entities').
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import RMPI, RMPIConfig
+from repro.core.scoring import ScoringHead
+from repro.train import TrainingConfig, train_model
+
+
+class TestScaledDotAttention:
+    def test_config_accepts(self):
+        config = RMPIConfig(use_target_attention=True, attention_kind="scaled_dot")
+        assert config.attention_kind == "scaled_dot"
+
+    def test_config_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            RMPIConfig(attention_kind="cosine")
+
+    def test_scaled_differs_from_dot(self, family_graph):
+        scores = {}
+        for kind in ("dot", "scaled_dot"):
+            config = RMPIConfig(use_target_attention=True, attention_kind=kind)
+            model = RMPI(family_graph.num_relations, np.random.default_rng(0), config)
+            model.eval()
+            scores[kind] = float(model.score_triples(family_graph, [(0, 0, 1)])[0])
+        assert scores["dot"] != pytest.approx(scores["scaled_dot"])
+
+    def test_scaled_variant_trains(self, tiny_partial_benchmark):
+        b = tiny_partial_benchmark
+        config = RMPIConfig(
+            embed_dim=16, use_target_attention=True, attention_kind="scaled_dot"
+        )
+        model = RMPI(b.num_relations, np.random.default_rng(0), config)
+        history = train_model(
+            model,
+            b.train_graph,
+            b.train_triples,
+            config=TrainingConfig(epochs=2, seed=0, max_triples_per_epoch=40),
+        )
+        assert np.isfinite(history.losses).all()
+
+
+class TestGatedFusion:
+    def test_head_gate_convexity(self):
+        head = ScoringHead(4, np.random.default_rng(0), fusion="gated", use_disclosing=True)
+        assert head.gate is not None
+        # With zero gate input bias the output lies between the two pure cases.
+        a = Tensor(np.full((1, 4), 2.0))
+        b = Tensor(np.full((1, 4), -2.0))
+        fused_score = float(head(a, b).data[0, 0])
+        only_a = float(head(a, a).data[0, 0])
+        only_b = float(head(b, b).data[0, 0])
+        low, high = min(only_a, only_b), max(only_a, only_b)
+        assert low - 1e-9 <= fused_score <= high + 1e-9
+
+    def test_gated_model_runs(self, family_graph):
+        config = RMPIConfig(use_disclosing=True, fusion="gated")
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0), config)
+        score = model.score_triples(family_graph, [(0, 0, 1)])
+        assert np.isfinite(score).all()
+
+    def test_gate_gradient_flows(self, family_graph):
+        config = RMPIConfig(use_disclosing=True, fusion="gated")
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0), config)
+        model.score_sample(model.prepare(family_graph, (0, 0, 1))).backward()
+        assert model.head.gate.weight.grad is not None
+
+
+class TestEntityClues:
+    def test_variant_name(self):
+        assert RMPIConfig(use_entity_clues=True).variant_name == "RMPI-EC"
+        assert (
+            RMPIConfig(use_disclosing=True, use_entity_clues=True).variant_name
+            == "RMPI-NE-EC"
+        )
+
+    def test_sample_carries_clue(self, family_graph):
+        config = RMPIConfig(use_entity_clues=True)
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0), config)
+        sample = model.prepare(family_graph, (0, 0, 1))
+        assert sample.entity_clue is not None
+        assert sample.entity_clue.shape == (1, 6)  # 2 * (K+1) with K=2
+
+    def test_clue_changes_score(self, family_graph):
+        config = RMPIConfig(use_entity_clues=True)
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0), config)
+        model.eval()
+        sample = model.prepare(family_graph, (0, 0, 1))
+        baseline = float(model.score_sample(sample).data[0, 0])
+        from repro.core.model import RMPISample
+
+        altered = RMPISample(
+            sample.triple,
+            sample.plan,
+            sample.disclosing_relations,
+            sample.enclosing_empty,
+            entity_clue=sample.entity_clue + 1.0,
+        )
+        assert float(model.score_sample(altered).data[0, 0]) != pytest.approx(baseline)
+
+    def test_clue_gradient_flows(self, family_graph):
+        config = RMPIConfig(use_entity_clues=True)
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0), config)
+        model.score_sample(model.prepare(family_graph, (0, 0, 1))).backward()
+        assert model.head.clue_proj.weight.grad is not None
+
+    def test_ec_variant_trains(self, tiny_partial_benchmark):
+        b = tiny_partial_benchmark
+        config = RMPIConfig(embed_dim=16, use_entity_clues=True)
+        model = RMPI(b.num_relations, np.random.default_rng(0), config)
+        history = train_model(
+            model,
+            b.train_graph,
+            b.train_triples,
+            config=TrainingConfig(epochs=2, seed=0, max_triples_per_epoch=40),
+        )
+        assert np.isfinite(history.losses).all()

@@ -1,0 +1,89 @@
+"""Enclosing/disclosing subgraph extraction tests (paper §III-B, §III-F)."""
+
+import pytest
+
+from repro.kg import KnowledgeGraph, TripleSet
+from repro.subgraph import extract_disclosing_subgraph, extract_enclosing_subgraph
+
+
+class TestEnclosing:
+    def test_family_example(self, family_graph):
+        # Target (A, husband_of, B) — the paper's Fig. 2 running example.
+        sub = extract_enclosing_subgraph(family_graph, (0, 0, 1), num_hops=1)
+        assert 0 in sub.entities and 1 in sub.entities
+        assert (0, 0, 1) not in sub.triples  # target edge removed
+
+    def test_target_edge_all_copies_removed(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (0, 1, 1), (1, 2, 0)])
+        sub = extract_enclosing_subgraph(g, (0, 0, 1), num_hops=2)
+        assert (0, 0, 1) not in sub.triples
+        assert (0, 1, 1) in sub.triples  # other relations between u,v stay
+
+    def test_intersection_semantics(self):
+        # 0-1-2 chain plus a pendant 3 off node 0: 3 is within 1 hop of 0
+        # but not of 2, so it's excluded from the 1-hop enclosing subgraph
+        # of (0, r, 2)... and everything else is disconnected -> empty.
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 0, 2), (0, 0, 3)])
+        sub = extract_enclosing_subgraph(g, (0, 0, 2), num_hops=1)
+        assert 3 not in sub.entities
+
+    def test_two_hop_keeps_connecting_path(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 0, 2), (0, 0, 3)])
+        sub = extract_enclosing_subgraph(g, (0, 1, 2), num_hops=2)
+        assert set(sub.entities) >= {0, 1, 2}
+        assert (0, 0, 1) in sub.triples
+        assert (1, 0, 2) in sub.triples
+        assert 3 not in sub.entities  # not within 2 hops of BOTH targets... 3 is 1 hop from 0, 3 hops from 2
+
+    def test_empty_subgraph_flag(self):
+        # Disconnected target pair: no common neighborhood.
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (2, 0, 3)])
+        sub = extract_enclosing_subgraph(g, (0, 0, 3), num_hops=2)
+        assert sub.is_empty
+        assert sub.head == 0 and sub.tail == 3
+
+    def test_targets_always_in_entity_set(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (2, 0, 3)])
+        sub = extract_enclosing_subgraph(g, (0, 0, 3), num_hops=2)
+        assert 0 in sub.entities and 3 in sub.entities
+
+    def test_distances_are_internal(self, family_graph):
+        sub = extract_enclosing_subgraph(family_graph, (0, 0, 1), num_hops=2)
+        assert sub.distances_u[0] == 0
+        assert sub.distances_v[1] == 0
+        for entity, dist in sub.distances_u.items():
+            assert dist <= sub.num_hops
+
+    def test_prunes_nodes_unreachable_after_target_removal(self):
+        # 0 -> 1 only via the target edge: once removed, the pair has no
+        # connecting structure and the subgraph is empty.
+        g = KnowledgeGraph.from_triples([(0, 0, 1)])
+        sub = extract_enclosing_subgraph(g, (0, 0, 1), num_hops=2)
+        assert sub.is_empty
+
+    def test_candidate_triple_not_a_fact(self, family_graph):
+        # Scoring negative candidates requires extraction of non-facts.
+        sub = extract_enclosing_subgraph(family_graph, (2, 0, 3), num_hops=2)
+        assert sub.relation == 0
+        assert (2, 0, 3) not in sub.triples
+
+
+class TestDisclosing:
+    def test_union_superset_of_enclosing(self, family_graph):
+        target = (0, 0, 1)
+        enclosing = extract_enclosing_subgraph(family_graph, target, num_hops=2)
+        disclosing = extract_disclosing_subgraph(family_graph, target, num_hops=2)
+        assert set(enclosing.entities) <= set(disclosing.entities)
+        assert set(enclosing.triples) <= set(disclosing.triples)
+
+    def test_rescues_empty_enclosing(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (2, 1, 3)])
+        target = (0, 0, 3)
+        enclosing = extract_enclosing_subgraph(g, target, num_hops=2)
+        disclosing = extract_disclosing_subgraph(g, target, num_hops=2)
+        assert enclosing.is_empty
+        assert not disclosing.is_empty  # pendant edges incident to u/v remain
+
+    def test_target_edge_removed(self, family_graph):
+        disclosing = extract_disclosing_subgraph(family_graph, (0, 0, 1), num_hops=1)
+        assert (0, 0, 1) not in disclosing.triples

@@ -1,0 +1,92 @@
+"""KnowledgeGraph tests: adjacency, K-hop BFS, induced subgraphs."""
+
+import pytest
+
+from repro.kg import KnowledgeGraph, TripleSet
+
+
+@pytest.fixture
+def chain_graph():
+    """0 -r0-> 1 -r0-> 2 -r1-> 3 -r1-> 4"""
+    return KnowledgeGraph.from_triples(
+        [(0, 0, 1), (1, 0, 2), (2, 1, 3), (3, 1, 4)]
+    )
+
+
+class TestConstruction:
+    def test_from_triples_infers_sizes(self, chain_graph):
+        assert chain_graph.num_entities == 5
+        assert chain_graph.num_relations == 2
+
+    def test_explicit_sizes_validated(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph(TripleSet([(0, 0, 5)]), num_entities=3, num_relations=1)
+        with pytest.raises(ValueError):
+            KnowledgeGraph(TripleSet([(0, 4, 1)]), num_entities=3, num_relations=1)
+
+    def test_id_space_may_exceed_data(self):
+        g = KnowledgeGraph(TripleSet([(0, 0, 1)]), num_entities=100, num_relations=50)
+        assert g.degree(99) == 0
+
+    def test_empty_graph(self):
+        g = KnowledgeGraph.from_triples([])
+        assert len(g) == 0
+        assert g.num_entities == 0
+
+
+class TestAdjacency:
+    def test_incident_edges(self, chain_graph):
+        assert chain_graph.incident_edges(2) == [1, 2]
+        assert chain_graph.degree(0) == 1
+
+    def test_self_loop_counted_once(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 0)])
+        assert g.degree(0) == 1
+
+    def test_edge_accessor(self, chain_graph):
+        assert chain_graph.edge(2) == (2, 1, 3)
+
+    def test_relations_of(self, chain_graph):
+        assert chain_graph.relations_of(2) == {0, 1}
+
+    def test_entity_pair_relations(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (0, 1, 1), (1, 0, 0)])
+        assert g.entity_pair_relations(0, 1) == {0, 1}
+        assert g.entity_pair_relations(1, 0) == {0}
+
+
+class TestKHop:
+    def test_distances_undirected(self, chain_graph):
+        d = chain_graph.khop_distances(0, 10)
+        assert d == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_max_hops_limits(self, chain_graph):
+        d = chain_graph.khop_distances(0, 2)
+        assert set(d) == {0, 1, 2}
+
+    def test_forbidden_blocks_paths_through(self, chain_graph):
+        # Forbid 2: nodes beyond 2 are unreachable from 0, though 2 itself
+        # is still *reported* (entered but not expanded).
+        d = chain_graph.khop_distances(0, 10, forbidden={2})
+        assert 3 not in d and 4 not in d
+        assert d[2] == 2
+
+    def test_khop_neighbors_includes_source(self, chain_graph):
+        assert 0 in chain_graph.khop_neighbors(0, 1)
+
+
+class TestInducedSubgraph:
+    def test_only_internal_edges(self, chain_graph):
+        triples = chain_graph.induced_subgraph_triples({0, 1, 2})
+        assert triples == TripleSet([(0, 0, 1), (1, 0, 2)])
+
+    def test_empty_for_disconnected_set(self, chain_graph):
+        assert len(chain_graph.induced_subgraph_triples({0, 4})) == 0
+
+    def test_edge_indices_sorted_unique(self, chain_graph):
+        idx = chain_graph.induced_edge_indices({1, 2, 3})
+        assert idx == sorted(set(idx))
+
+    def test_statistics(self, chain_graph):
+        stats = chain_graph.statistics()
+        assert stats == {"relations": 2, "entities": 5, "triples": 4}

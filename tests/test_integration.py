@@ -1,0 +1,151 @@
+"""End-to-end integration tests across the full pipeline.
+
+These are the "does the system do what the paper's system does" tests:
+train on a training graph, predict on a testing graph with unseen entities
+(and relations), and verify learning actually happened — trained models must
+beat untrained ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MaKEr, ScopedMaKEr, train_maker
+from repro.core import RMPI, RMPIConfig
+from repro.eval import evaluate_both, evaluate_triple_classification
+from repro.experiments import run_experiment, run_full_experiment
+from repro.train import TrainingConfig, train_model
+
+
+class TestPartiallyInductivePipeline:
+    def test_trained_beats_untrained(self, tiny_partial_benchmark):
+        # An untrained GNN already produces structure-correlated scores, so
+        # compare means over several evaluation draws, not single samples.
+        b = tiny_partial_benchmark
+        trained = RMPI(b.num_relations, np.random.default_rng(0), RMPIConfig(embed_dim=16))
+        untrained = RMPI(b.num_relations, np.random.default_rng(0), RMPIConfig(embed_dim=16))
+        train_model(
+            trained,
+            b.train_graph,
+            b.train_triples,
+            config=TrainingConfig(epochs=12, seed=0),
+        )
+
+        def mean_auc(model):
+            values = [
+                evaluate_triple_classification(
+                    model, b.test_graph, b.test_triples, np.random.default_rng(seed)
+                ).auc_pr
+                for seed in (11, 12, 13, 14)
+            ]
+            return float(np.mean(values))
+
+        assert mean_auc(trained) > mean_auc(untrained)
+
+    def test_generalises_to_unseen_entities(self, tiny_partial_benchmark):
+        # Better-than-chance AUC-PR on a graph whose entities were never seen
+        # in training: the inductive claim.  This benchmark is extremely
+        # sparse (~60% empty enclosing subgraphs), so use the NE variant —
+        # the paper's answer to exactly this regime.
+        b = tiny_partial_benchmark
+        model = RMPI(
+            b.num_relations,
+            np.random.default_rng(0),
+            RMPIConfig(embed_dim=16, use_disclosing=True),
+        )
+        train_model(
+            model, b.train_graph, b.train_triples, config=TrainingConfig(epochs=10, seed=0)
+        )
+        aucs = [
+            evaluate_triple_classification(
+                model, b.test_graph, b.test_triples, np.random.default_rng(seed)
+            ).auc_pr
+            for seed in (1, 2, 3)
+        ]
+        assert float(np.mean(aucs)) > 55.0  # chance is 50
+
+
+class TestFullyInductivePipeline:
+    def test_semi_and_fully_settings_run(self, tiny_full_benchmark):
+        result_semi = run_full_experiment(
+            tiny_full_benchmark,
+            "RMPI-NE",
+            "semi",
+            TrainingConfig(epochs=3, seed=0, max_triples_per_epoch=60),
+            embed_dim=16,
+        )
+        result_fully = run_full_experiment(
+            tiny_full_benchmark,
+            "RMPI-NE",
+            "fully",
+            TrainingConfig(epochs=3, seed=0, max_triples_per_epoch=60),
+            embed_dim=16,
+        )
+        for result in (result_semi, result_fully):
+            assert np.isfinite(list(result.metrics.values())).all()
+
+    def test_unseen_relations_scored_via_neighbors(self, tiny_full_benchmark):
+        b = tiny_full_benchmark
+        model = RMPI(b.num_relations, np.random.default_rng(0), RMPIConfig(embed_dim=16))
+        train_model(
+            model, b.train_graph, b.train_triples, config=TrainingConfig(epochs=3, seed=0)
+        )
+        unseen_targets = [t for t in b.semi_test_triples if t[1] not in b.seen_relations]
+        if unseen_targets:
+            scores = model.score_triples(b.semi_test_graph, unseen_targets[:5])
+            assert np.isfinite(scores).all()
+
+    def test_schema_enhanced_pipeline(self, tiny_full_benchmark):
+        result = run_full_experiment(
+            tiny_full_benchmark,
+            "RMPI-base",
+            "semi",
+            TrainingConfig(epochs=2, seed=0, max_triples_per_epoch=40),
+            use_schema=True,
+            embed_dim=16,
+        )
+        assert "+schema" in result.model
+        assert np.isfinite(list(result.metrics.values())).all()
+
+
+class TestExtPipeline:
+    def test_maker_on_ext_benchmark(self, tiny_ext_benchmark):
+        b = tiny_ext_benchmark
+        model = MaKEr(b.num_relations, np.random.default_rng(0), embed_dim=16)
+        train_maker(model, b.train_graph, b.train_triples, episodes=20, seed=0)
+        scoped = ScopedMaKEr(model, b.seen_relations)
+        for category, targets in b.targets.items():
+            if len(targets) == 0:
+                continue
+            report = evaluate_both(scoped, b.test_graph, targets, seed=0, num_negatives=9)
+            assert np.isfinite(list(report.as_dict().values())).all()
+
+    def test_rmpi_on_ext_benchmark(self, tiny_ext_benchmark):
+        b = tiny_ext_benchmark
+        model = RMPI(b.num_relations, np.random.default_rng(0), RMPIConfig(embed_dim=16))
+        train_model(
+            model,
+            b.train_graph,
+            b.train_triples,
+            config=TrainingConfig(epochs=2, seed=0, max_triples_per_epoch=40),
+        )
+        for targets in b.targets.values():
+            if len(targets) == 0:
+                continue
+            report = evaluate_both(model, b.test_graph, targets, seed=0, num_negatives=9)
+            assert np.isfinite(list(report.as_dict().values())).all()
+
+
+class TestCrossModelComparability:
+    def test_all_models_on_same_benchmark(self, tiny_partial_benchmark):
+        # The Table VI setting: every method trains and evaluates on the
+        # same benchmark without errors and produces sane metric ranges.
+        for name in ("GraIL", "TACT-base", "CoMPILE", "RMPI-NE-TA"):
+            result = run_experiment(
+                tiny_partial_benchmark,
+                name,
+                TrainingConfig(epochs=1, seed=0, max_triples_per_epoch=30),
+                num_negatives=9,
+                embed_dim=8,
+            )
+            for key, value in result.metrics.items():
+                assert 0.0 <= value <= 100.0, f"{name} {key}={value}"

@@ -1,0 +1,74 @@
+"""Double-radius labeling tests (GraIL features)."""
+
+import numpy as np
+
+from repro.kg import KnowledgeGraph
+from repro.subgraph import (
+    encode_labels,
+    extract_enclosing_subgraph,
+    label_feature_dim,
+    node_labels,
+)
+
+
+def path_subgraph():
+    """0 - 1 - 2 path; target (0, r, 2) via a parallel relation."""
+    g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 0, 2), (0, 1, 2)])
+    return extract_enclosing_subgraph(g, (0, 1, 2), num_hops=2)
+
+
+class TestNodeLabels:
+    def test_target_conventions(self):
+        sub = path_subgraph()
+        labels = node_labels(sub)
+        assert labels[sub.head] == (0, 1)
+        assert labels[sub.tail] == (1, 0)
+
+    def test_intermediate_node(self):
+        sub = path_subgraph()
+        labels = node_labels(sub)
+        assert labels[1] == (1, 1)
+
+    def test_distances_clipped_to_k(self):
+        g = KnowledgeGraph.from_triples(
+            [(0, 0, 1), (1, 0, 2), (2, 0, 3), (3, 0, 4), (0, 1, 4)]
+        )
+        sub = extract_enclosing_subgraph(g, (0, 1, 4), num_hops=3)
+        labels = node_labels(sub)
+        for d_u, d_v in labels.values():
+            assert d_u <= 3 and d_v <= 3
+
+
+class TestEncoding:
+    def test_feature_dim(self):
+        assert label_feature_dim(2) == 6
+        assert label_feature_dim(3) == 8
+
+    def test_one_hot_rows(self):
+        sub = path_subgraph()
+        features, index = encode_labels(sub)
+        assert features.shape == (len(sub.entities), label_feature_dim(2))
+        # Each row is exactly two one-hots.
+        assert np.allclose(features.sum(axis=1), 2.0)
+
+    def test_index_maps_all_entities(self):
+        sub = path_subgraph()
+        _features, index = encode_labels(sub)
+        assert set(index) == set(sub.entities)
+
+    def test_head_encoding_position(self):
+        sub = path_subgraph()
+        features, index = encode_labels(sub)
+        head_row = features[index[sub.head]]
+        # (0, 1): one-hot 0 in the first half, one-hot 1 in the second half.
+        assert head_row[0] == 1.0
+        assert head_row[3 + 1] == 1.0
+
+    def test_isomorphic_subgraphs_same_features(self):
+        # Same structure over different entity ids -> identical feature
+        # matrices (entity independence, the point of the labeling).
+        g1 = KnowledgeGraph.from_triples([(0, 0, 1), (1, 0, 2), (0, 1, 2)])
+        g2 = KnowledgeGraph.from_triples([(10, 0, 11), (11, 0, 12), (10, 1, 12)])
+        f1, _ = encode_labels(extract_enclosing_subgraph(g1, (0, 1, 2), 2))
+        f2, _ = encode_labels(extract_enclosing_subgraph(g2, (10, 1, 12), 2))
+        assert np.allclose(np.sort(f1, axis=0), np.sort(f2, axis=0))

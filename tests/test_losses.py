@@ -1,0 +1,71 @@
+"""Loss function tests."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Tensor,
+    binary_cross_entropy_with_logits,
+    margin_ranking_loss,
+    mse_loss,
+)
+
+
+class TestMarginRankingLoss:
+    def test_zero_when_margin_satisfied(self):
+        pos = Tensor(np.array([[10.0], [12.0]]))
+        neg = Tensor(np.array([[-5.0], [-3.0]]))
+        loss = margin_ranking_loss(pos, neg, margin=10.0)
+        assert loss.data == pytest.approx(0.0)
+
+    def test_hinge_value(self):
+        pos = Tensor(np.array([[1.0]]))
+        neg = Tensor(np.array([[0.0]]))
+        # max(0, 0 - 1 + 10) = 9
+        loss = margin_ranking_loss(pos, neg, margin=10.0)
+        assert loss.data == pytest.approx(9.0)
+
+    def test_mean_over_batch(self):
+        pos = Tensor(np.array([[1.0], [100.0]]))
+        neg = Tensor(np.array([[0.0], [0.0]]))
+        loss = margin_ranking_loss(pos, neg, margin=10.0)
+        assert loss.data == pytest.approx(4.5)  # (9 + 0) / 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            margin_ranking_loss(Tensor(np.ones((2, 1))), Tensor(np.ones((3, 1))))
+
+    def test_gradient_pushes_scores_apart(self):
+        pos = Tensor(np.array([[0.0]]), requires_grad=True)
+        neg = Tensor(np.array([[0.0]]), requires_grad=True)
+        margin_ranking_loss(pos, neg, margin=10.0).backward()
+        assert pos.grad[0, 0] < 0  # increasing pos decreases loss
+        assert neg.grad[0, 0] > 0
+
+
+class TestBCE:
+    def test_perfect_predictions_near_zero(self):
+        logits = Tensor(np.array([50.0, -50.0]))
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert float(loss.data) < 1e-6
+
+    def test_chance_is_log2(self):
+        logits = Tensor(np.array([0.0]))
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0]))
+        assert float(loss.data) == pytest.approx(np.log(2.0), rel=1e-6)
+
+    def test_gradient_direction(self):
+        logits = Tensor(np.array([0.0]), requires_grad=True)
+        binary_cross_entropy_with_logits(logits, np.array([1.0])).backward()
+        assert logits.grad[0] < 0  # push logit up toward the positive label
+
+
+class TestMSE:
+    def test_value(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        loss = mse_loss(pred, np.array([0.0, 0.0]))
+        assert float(loss.data) == pytest.approx(5.0)
+
+    def test_zero_at_target(self):
+        pred = Tensor(np.array([2.0]))
+        assert float(mse_loss(pred, np.array([2.0])).data) == 0.0

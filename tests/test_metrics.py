@@ -1,0 +1,115 @@
+"""Metric tests: AUC-PR, ranks, MRR, Hits@n — incl. hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import average_precision, hits_at, mrr, rank_of_first
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([1, 1, 0, 0], [4, 3, 2, 1]) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        # Positives at the bottom of 4: AP = (1/3 + 2/4) / 2
+        ap = average_precision([0, 0, 1, 1], [4, 3, 2, 1])
+        assert ap == pytest.approx((1 / 3 + 2 / 4) / 2)
+
+    def test_single_positive_middle(self):
+        ap = average_precision([0, 1, 0], [3, 2, 1])
+        assert ap == pytest.approx(0.5)
+
+    def test_no_positives(self):
+        assert average_precision([0, 0], [1, 2]) == 0.0
+
+    def test_all_positives(self):
+        assert average_precision([1, 1, 1], [3, 1, 2]) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            average_precision([1], [1.0, 2.0])
+
+    def test_matches_sklearn_formula_on_random(self):
+        # Cross-check against a direct O(n^2) computation.
+        rng = np.random.default_rng(0)
+        labels = rng.integers(2, size=30)
+        if labels.sum() == 0:
+            labels[0] = 1
+        scores = rng.normal(size=30)
+        order = np.argsort(-scores, kind="stable")
+        sorted_labels = labels[order]
+        expected = 0.0
+        hits = 0
+        for k, lab in enumerate(sorted_labels, start=1):
+            if lab:
+                hits += 1
+                expected += hits / k
+        expected /= labels.sum()
+        assert average_precision(labels, scores) == pytest.approx(expected)
+
+    @given(
+        n=st.integers(2, 40),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(2, size=n)
+        scores = rng.normal(size=n)
+        ap = average_precision(labels, scores)
+        assert 0.0 <= ap <= 1.0
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_monotone_under_perfect_separation(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 20
+        labels = np.array([1] * 5 + [0] * 15)
+        scores = np.where(labels == 1, rng.uniform(1, 2, n), rng.uniform(-2, -1, n))
+        assert average_precision(labels, scores) == pytest.approx(1.0)
+
+
+class TestRankOfFirst:
+    def test_best(self):
+        assert rank_of_first([10.0, 1.0, 2.0]) == 1.0
+
+    def test_worst(self):
+        assert rank_of_first([0.0, 1.0, 2.0]) == 3.0
+
+    def test_ties_get_mean_rank(self):
+        # All equal among 3: mean rank = 2.
+        assert rank_of_first([1.0, 1.0, 1.0]) == 2.0
+
+    def test_constant_scorer_is_chance_not_perfect(self):
+        # The guard against optimistic-rank inflation.
+        ranks = [rank_of_first([0.0] * 50) for _ in range(5)]
+        assert all(r == 25.5 for r in ranks)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rank_of_first([])
+
+
+class TestMRRHits:
+    def test_mrr_percent(self):
+        assert mrr([1, 2, 4]) == pytest.approx((1 + 0.5 + 0.25) / 3 * 100)
+
+    def test_hits_at_10(self):
+        assert hits_at([1, 5, 11, 50], 10) == pytest.approx(50.0)
+
+    def test_hits_at_1(self):
+        assert hits_at([1, 2, 1], 1) == pytest.approx(200 / 3)
+
+    def test_empty_sequences(self):
+        assert mrr([]) == 0.0
+        assert hits_at([], 10) == 0.0
+
+    @given(st.lists(st.floats(1.0, 100.0), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_property_ranges(self, ranks):
+        assert 0.0 <= mrr(ranks) <= 100.0
+        assert 0.0 <= hits_at(ranks, 10) <= 100.0
+        # Hits@n is monotone in n.
+        assert hits_at(ranks, 1) <= hits_at(ranks, 10) <= hits_at(ranks, 100)

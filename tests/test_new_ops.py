@@ -1,0 +1,69 @@
+"""Gradient checks for the trigonometric / softplus / sqrt ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, ops
+
+
+def make_param(shape, seed=0, positive=False):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True)
+
+
+class TestTrig:
+    def test_sin_values(self):
+        a = Tensor([0.0, np.pi / 2])
+        assert np.allclose(ops.sin(a).data, [0.0, 1.0])
+
+    def test_cos_values(self):
+        a = Tensor([0.0, np.pi])
+        assert np.allclose(ops.cos(a).data, [1.0, -1.0])
+
+    def test_sin_gradient(self):
+        a = make_param((6,), 1)
+        check_gradients(lambda: ops.sum(ops.sin(a)), [a])
+
+    def test_cos_gradient(self):
+        a = make_param((6,), 2)
+        check_gradients(lambda: ops.sum(ops.cos(a)), [a])
+
+    def test_pythagorean_identity(self):
+        a = make_param((10,), 3)
+        s, c = ops.sin(a), ops.cos(a)
+        total = ops.add(ops.mul(s, s), ops.mul(c, c))
+        assert np.allclose(total.data, 1.0)
+
+
+class TestSqrt:
+    def test_values(self):
+        assert np.allclose(ops.sqrt(Tensor([4.0, 9.0])).data, [2.0, 3.0])
+
+    def test_gradient(self):
+        a = make_param((6,), 1, positive=True)
+        check_gradients(lambda: ops.sum(ops.sqrt(a)), [a])
+
+    def test_negative_clamped_to_zero(self):
+        assert ops.sqrt(Tensor([-1.0])).data == pytest.approx([0.0])
+
+
+class TestSoftplus:
+    def test_values(self):
+        out = ops.softplus(Tensor([0.0]))
+        assert out.data == pytest.approx([np.log(2.0)])
+
+    def test_large_input_linear(self):
+        out = ops.softplus(Tensor([100.0]))
+        assert out.data == pytest.approx([100.0], rel=1e-6)
+
+    def test_gradient_is_sigmoid(self):
+        a = Tensor([0.0], requires_grad=True)
+        ops.sum(ops.softplus(a)).backward()
+        assert a.grad == pytest.approx([0.5])
+
+    def test_gradcheck(self):
+        a = make_param((8,), 4)
+        check_gradients(lambda: ops.sum(ops.softplus(a)), [a])

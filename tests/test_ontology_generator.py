@@ -1,0 +1,173 @@
+"""Ontology spec + synthetic instance generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    Ontology,
+    RelationSignature,
+    build_ontology,
+    generate_instance,
+    split_triples,
+    TripleSet,
+)
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return build_ontology(
+        num_relations=20, num_concepts=10, num_extension_relations=5, seed=7
+    )
+
+
+class TestBuildOntology:
+    def test_sizes(self, ontology):
+        assert ontology.num_relations == 20
+        assert len(ontology.signatures) == 20
+        assert len(ontology.concept_parent) == 10
+
+    def test_signatures_reference_valid_concepts(self, ontology):
+        for sig in ontology.signatures:
+            assert 0 <= sig.domain < ontology.num_concepts
+            assert 0 <= sig.range < ontology.num_concepts
+
+    def test_every_extension_relation_has_a_rule(self, ontology):
+        core = set(range(15))
+        for rel in range(15, 20):
+            in_composition = any(r.head == rel for r in ontology.compositions)
+            in_inverse = any(r.inverse == rel for r in ontology.inverses)
+            in_subproperty = rel in ontology.subproperty.values()
+            assert in_composition or in_inverse or in_subproperty
+
+    def test_composition_rules_well_formed(self, ontology):
+        # Typing is best-effort (later rules may re-patch a shared relation's
+        # signature), but rule structure must always be sound.
+        assert len(ontology.compositions) > 0
+        for rule in ontology.compositions:
+            assert 0 <= rule.head < ontology.num_relations
+            assert 0 <= rule.body1 < ontology.num_relations
+            assert 0 <= rule.body2 < ontology.num_relations
+            assert rule.head not in (rule.body1, rule.body2)
+
+    def test_deterministic_given_seed(self):
+        a = build_ontology(12, seed=3)
+        b = build_ontology(12, seed=3)
+        assert a.signatures == b.signatures
+        assert a.compositions == b.compositions
+
+    def test_extension_must_be_strict_subset(self):
+        with pytest.raises(ValueError):
+            build_ontology(5, num_extension_relations=5)
+
+    def test_leaf_concepts_nonempty(self, ontology):
+        assert len(ontology.leaf_concepts()) > 0
+
+    def test_restricted_rules_filters(self, ontology):
+        kept = {0, 1, 2}
+        restricted = ontology.restricted_rules(kept)
+        for rule in restricted.compositions:
+            assert {rule.head, rule.body1, rule.body2} <= kept
+        for rule in restricted.inverses:
+            assert {rule.relation, rule.inverse} <= kept
+
+    def test_invalid_signature_rejected(self):
+        with pytest.raises(ValueError):
+            Ontology(
+                num_concepts=2,
+                concept_parent=[0, 0],
+                num_relations=1,
+                signatures=[RelationSignature(0, 0, 5)],
+            )
+
+
+class TestGenerateInstance:
+    def test_respects_relation_subset(self, ontology):
+        rng = np.random.default_rng(0)
+        instance = generate_instance(ontology, {0, 1, 2}, 50, 60, rng)
+        assert instance.relations_used <= {0, 1, 2}
+
+    def test_entity_ids_in_range(self, ontology):
+        rng = np.random.default_rng(0)
+        instance = generate_instance(ontology, set(range(10)), 40, 80, rng)
+        entities = instance.triples.entities()
+        assert all(0 <= e < 40 for e in entities)
+
+    def test_no_self_loops_from_base_sampling(self, ontology):
+        rng = np.random.default_rng(0)
+        instance = generate_instance(
+            ontology, set(range(10)), 40, 100, rng, noise_fraction=0.0
+        )
+        # Rule chaining and base facts both skip h == t.
+        assert all(h != t for h, _r, t in instance.triples)
+
+    def test_rule_chaining_adds_facts(self, ontology):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        with_rules = generate_instance(
+            ontology, set(range(15)), 60, 150, rng1, rule_fire_prob=1.0,
+            noise_fraction=0.0,
+        )
+        without_rules = generate_instance(
+            ontology, set(range(15)), 60, 150, rng2, rule_fire_prob=0.0,
+            noise_fraction=0.0, max_chain_rounds=0,
+        )
+        assert len(with_rules.triples) > len(without_rules.triples)
+
+    def test_composition_rule_fires(self):
+        # Hand-built ontology: r2(x,z) <- r0(x,y) & r1(y,z), always fires.
+        from repro.kg.ontology import CompositionRule
+
+        ontology = Ontology(
+            num_concepts=2,
+            concept_parent=[0, 0],
+            num_relations=3,
+            signatures=[
+                RelationSignature(0, 1, 1),
+                RelationSignature(1, 1, 1),
+                RelationSignature(2, 1, 1),
+            ],
+            compositions=[CompositionRule(2, 0, 1)],
+        )
+        rng = np.random.default_rng(0)
+        instance = generate_instance(
+            ontology, {0, 1, 2}, 30, 120, rng, rule_fire_prob=1.0, noise_fraction=0.0
+        )
+        facts = set(instance.triples)
+        fired = 0
+        for x, r, y in facts:
+            if r != 0:
+                continue
+            for y2, r2, z in facts:
+                if r2 == 1 and y2 == y and x != z:
+                    assert (x, 2, z) in facts
+                    fired += 1
+        assert fired > 0
+
+    def test_empty_relations_raise(self, ontology):
+        with pytest.raises(ValueError):
+            generate_instance(ontology, set(), 10, 10, np.random.default_rng(0))
+
+    def test_deterministic_given_seed(self, ontology):
+        a = generate_instance(ontology, {0, 1, 2, 3}, 40, 60, np.random.default_rng(5))
+        b = generate_instance(ontology, {0, 1, 2, 3}, 40, 60, np.random.default_rng(5))
+        assert a.triples == b.triples
+
+
+class TestSplitTriples:
+    def test_partition_sizes(self):
+        triples = TripleSet([(i, 0, i + 1) for i in range(100)])
+        rng = np.random.default_rng(0)
+        a, b, c = split_triples(triples, (0.8, 0.1), rng)
+        assert len(a) == 80 and len(b) == 10 and len(c) == 10
+
+    def test_partition_is_disjoint_cover(self):
+        triples = TripleSet([(i, 0, i + 1) for i in range(50)])
+        rng = np.random.default_rng(0)
+        parts = split_triples(triples, (0.5, 0.3), rng)
+        union = parts[0].union(parts[1]).union(parts[2])
+        assert union == triples
+        assert len(parts[0]) + len(parts[1]) + len(parts[2]) == 50
+
+    def test_fractions_over_one_raise(self):
+        with pytest.raises(ValueError):
+            split_triples(TripleSet([(0, 0, 1)]), (0.8, 0.5), np.random.default_rng(0))

@@ -1,0 +1,215 @@
+"""Gradient checks for every functional op against numerical differences."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, ops
+
+
+def make_param(shape, seed=0, positive=False):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=shape)
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True)
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        a, b = make_param((3, 2), 1), make_param((3, 2), 2)
+        check_gradients(lambda: ops.sum(ops.add(a, b)), [a, b])
+
+    def test_add_broadcast(self):
+        a, b = make_param((3, 2), 1), make_param((2,), 2)
+        check_gradients(lambda: ops.sum(ops.add(a, b)), [a, b])
+
+    def test_sub(self):
+        a, b = make_param((4,), 1), make_param((4,), 2)
+        check_gradients(lambda: ops.sum(ops.sub(a, b)), [a, b])
+
+    def test_mul(self):
+        a, b = make_param((2, 3), 1), make_param((2, 3), 2)
+        check_gradients(lambda: ops.sum(ops.mul(a, b)), [a, b])
+
+    def test_mul_broadcast_column(self):
+        a, b = make_param((4, 3), 1), make_param((4, 1), 2)
+        check_gradients(lambda: ops.sum(ops.mul(a, b)), [a, b])
+
+    def test_div(self):
+        a = make_param((3,), 1)
+        b = make_param((3,), 2, positive=True)
+        check_gradients(lambda: ops.sum(ops.div(a, b)), [a, b])
+
+    def test_power(self):
+        a = make_param((3,), 1, positive=True)
+        check_gradients(lambda: ops.sum(ops.power(a, 3.0)), [a])
+
+
+class TestLinalgGradients:
+    def test_matmul_2d(self):
+        a, b = make_param((3, 4), 1), make_param((4, 2), 2)
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_matmul_vec_mat(self):
+        a, b = make_param((4,), 1), make_param((4, 2), 2)
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_matmul_mat_vec(self):
+        a, b = make_param((3, 4), 1), make_param((4,), 2)
+        check_gradients(lambda: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_matmul_vec_vec(self):
+        a, b = make_param((4,), 1), make_param((4,), 2)
+        check_gradients(lambda: ops.matmul(a, b), [a, b])
+
+    def test_transpose(self):
+        a = make_param((2, 5), 1)
+        weights = Tensor(np.arange(10.0).reshape(5, 2))
+        check_gradients(lambda: ops.sum(ops.mul(ops.transpose(a), weights)), [a])
+
+    def test_reshape(self):
+        a = make_param((2, 6), 1)
+        weights = Tensor(np.arange(12.0).reshape(3, 4))
+        check_gradients(lambda: ops.sum(ops.mul(ops.reshape(a, (3, 4)), weights)), [a])
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        a = make_param((3, 3), 1)
+        check_gradients(lambda: ops.sum(a), [a])
+
+    def test_sum_axis(self):
+        a = make_param((3, 4), 1)
+        weights = Tensor(np.arange(4.0))
+        check_gradients(lambda: ops.sum(ops.mul(ops.sum(a, axis=0), weights)), [a])
+
+    def test_mean_all(self):
+        a = make_param((5,), 1)
+        check_gradients(lambda: ops.mean(a), [a])
+
+    def test_mean_axis_keepdims(self):
+        a = make_param((3, 4), 1)
+        check_gradients(lambda: ops.sum(ops.mean(a, axis=1, keepdims=True)), [a])
+
+    def test_max_along(self):
+        a = Tensor(np.array([[1.0, 5.0, 2.0], [7.0, 0.0, 3.0]]), requires_grad=True)
+        out = ops.sum(ops.max_along(a, axis=1))
+        out.backward()
+        expected = np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+        assert np.allclose(a.grad, expected)
+
+
+class TestNonlinearityGradients:
+    def test_relu(self):
+        a = make_param((10,), 1)
+        a.data += 0.05  # avoid the kink
+        check_gradients(lambda: ops.sum(ops.relu(a)), [a])
+
+    def test_leaky_relu(self):
+        a = make_param((10,), 1)
+        a.data += 0.05
+        check_gradients(lambda: ops.sum(ops.leaky_relu(a)), [a])
+
+    def test_leaky_relu_negative_slope_value(self):
+        a = Tensor([-2.0])
+        assert ops.leaky_relu(a, 0.2).data == pytest.approx([-0.4])
+
+    def test_sigmoid(self):
+        a = make_param((6,), 1)
+        check_gradients(lambda: ops.sum(ops.sigmoid(a)), [a])
+
+    def test_tanh(self):
+        a = make_param((6,), 1)
+        check_gradients(lambda: ops.sum(ops.tanh(a)), [a])
+
+    def test_exp(self):
+        a = make_param((6,), 1)
+        check_gradients(lambda: ops.sum(ops.exp(a)), [a])
+
+    def test_log(self):
+        a = make_param((6,), 1, positive=True)
+        check_gradients(lambda: ops.sum(ops.log(a)), [a])
+
+    def test_softmax_rows_sum_to_one(self):
+        a = make_param((4, 7), 1)
+        out = ops.softmax(a, axis=1)
+        assert np.allclose(out.data.sum(axis=1), 1.0)
+
+    def test_softmax_gradient(self):
+        a = make_param((3, 5), 1)
+        weights = Tensor(np.arange(15.0).reshape(3, 5))
+        check_gradients(lambda: ops.sum(ops.mul(ops.softmax(a, axis=1), weights)), [a])
+
+
+class TestShapeOps:
+    def test_concat_gradient(self):
+        a, b = make_param((2, 3), 1), make_param((4, 3), 2)
+        weights = Tensor(np.arange(18.0).reshape(6, 3))
+        check_gradients(
+            lambda: ops.sum(ops.mul(ops.concat([a, b], axis=0), weights)), [a, b]
+        )
+
+    def test_concat_axis1(self):
+        a, b = make_param((2, 2), 1), make_param((2, 3), 2)
+        out = ops.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_stack(self):
+        a, b = make_param((3,), 1), make_param((3,), 2)
+        weights = Tensor(np.arange(6.0).reshape(2, 3))
+        check_gradients(lambda: ops.sum(ops.mul(ops.stack([a, b]), weights)), [a, b])
+
+    def test_index_select_gradient(self):
+        a = make_param((5, 2), 1)
+        idx = np.array([0, 3, 3])
+        weights = Tensor(np.arange(6.0).reshape(3, 2))
+        check_gradients(lambda: ops.sum(ops.mul(ops.index_select(a, idx), weights)), [a])
+
+    def test_clip(self):
+        a = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        out = ops.clip(a, -1.0, 1.0)
+        ops.sum(out).backward()
+        assert np.allclose(out.data, [-1.0, 0.5, 1.0])
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_gradient_no_ties(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([2.0, 3.0], requires_grad=True)
+        ops.sum(ops.maximum(a, b)).backward()
+        assert np.allclose(a.grad, [0.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 0.0])
+
+    def test_maximum_splits_ties(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        ops.sum(ops.maximum(a, b)).backward()
+        assert a.grad == pytest.approx([0.5])
+        assert b.grad == pytest.approx([0.5])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(np.ones((10, 10)))
+        out = ops.dropout(a, 0.5, rng, training=False)
+        assert out is a
+
+    def test_training_scales_kept(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(np.ones((200, 200)))
+        out = ops.dropout(a, 0.5, rng, training=True)
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+        assert 0.45 < (out.data > 0).mean() < 0.55
+
+    def test_invalid_rate(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ops.dropout(Tensor([1.0]), 1.0, rng)
+
+    def test_gradient_masks_match(self):
+        rng = np.random.default_rng(0)
+        a = Tensor(np.ones(100), requires_grad=True)
+        out = ops.dropout(a, 0.5, rng, training=True)
+        ops.sum(out).backward()
+        assert np.allclose((a.grad > 0), (out.data > 0))

@@ -1,0 +1,109 @@
+"""Optimizer tests: convergence on quadratics, state handling, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import SGD, Adam, Parameter, Tensor, clip_grad_norm, ops
+
+
+def quadratic_loss(param, target):
+    diff = ops.sub(param, Tensor(target))
+    return ops.sum(ops.mul(diff, diff))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 2.0])
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(param, target).backward()
+            opt.step()
+        assert np.allclose(param.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Parameter(np.array([10.0]))
+            opt = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                opt.zero_grad()
+                quadratic_loss(param, np.array([0.0])).backward()
+                opt.step()
+            return abs(float(param.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        # Loss contributes zero gradient; only decay acts.
+        param.grad = np.zeros(1)
+        opt.step()
+        assert param.data[0] == pytest.approx(0.9)
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.array([1.0]))
+        opt = SGD([param], lr=0.1)
+        opt.step()  # no grad: must not crash or move
+        assert param.data[0] == 1.0
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([5.0, -3.0, 0.5]))
+        target = np.array([1.0, 2.0, 0.0])
+        opt = Adam([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(param, target).backward()
+            opt.step()
+        assert np.allclose(param.data, target, atol=1e-2)
+
+    def test_first_step_size_near_lr(self):
+        # Bias correction makes the first Adam step ~= lr in magnitude.
+        param = Parameter(np.array([1.0]))
+        opt = Adam([param], lr=0.01)
+        opt.zero_grad()
+        quadratic_loss(param, np.array([0.0])).backward()
+        opt.step()
+        assert abs(1.0 - param.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_beats_sgd_on_badly_scaled_problem(self):
+        scales = np.array([100.0, 0.01])
+
+        def run(opt_cls, **kwargs):
+            param = Parameter(np.array([1.0, 1.0]))
+            opt = opt_cls([param], **kwargs)
+            for _ in range(100):
+                opt.zero_grad()
+                loss = ops.sum(ops.mul(Tensor(scales), ops.mul(param, param)))
+                loss.backward()
+                opt.step()
+            return float(np.abs(param.data).sum())
+
+        assert run(Adam, lr=0.05) < run(SGD, lr=0.001)
+
+
+class TestClipGradNorm:
+    def test_returns_preclip_norm(self):
+        param = Parameter(np.array([3.0, 4.0]))
+        param.grad = np.array([3.0, 4.0])
+        norm = clip_grad_norm([param], max_norm=100.0)
+        assert norm == pytest.approx(5.0)
+        assert np.allclose(param.grad, [3.0, 4.0])  # unchanged under max
+
+    def test_scales_down(self):
+        param = Parameter(np.array([3.0, 4.0]))
+        param.grad = np.array([3.0, 4.0])
+        clip_grad_norm([param], max_norm=1.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_handles_no_grads(self):
+        param = Parameter(np.array([1.0]))
+        assert clip_grad_norm([param], 1.0) == 0.0

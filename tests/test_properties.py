@@ -1,0 +1,137 @@
+"""Cross-module hypothesis property tests.
+
+Invariants that must hold on *arbitrary* graphs, not just fixtures:
+
+* enclosing ⊆ disclosing (entities and edges);
+* the target edge never leaks into an extracted subgraph;
+* autograd gradients of random composite expressions match numerical
+  differentiation;
+* negative sampling never returns the positive;
+* model scores are permutation-invariant over batch order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Tensor, check_gradients, ops
+from repro.kg import KnowledgeGraph, TripleSet, corrupt_triple
+from repro.subgraph import extract_disclosing_subgraph, extract_enclosing_subgraph
+
+
+def random_graph(seed: int, num_entities: int = 10, num_relations: int = 4, num_edges: int = 18):
+    rng = np.random.default_rng(seed)
+    triples = {
+        (int(rng.integers(num_entities)), int(rng.integers(num_relations)), int(rng.integers(num_entities)))
+        for _ in range(num_edges)
+    }
+    triples = {(h, r, t) for h, r, t in triples if h != t}
+    return KnowledgeGraph.from_triples(
+        TripleSet(sorted(triples)), num_entities=num_entities, num_relations=num_relations
+    )
+
+
+class TestExtractionProperties:
+    @given(seed=st.integers(0, 300), hops=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_enclosing_subset_of_disclosing(self, seed, hops):
+        graph = random_graph(seed)
+        if len(graph.triples) == 0:
+            return
+        target = graph.triples[seed % len(graph.triples)]
+        enclosing = extract_enclosing_subgraph(graph, target, hops)
+        disclosing = extract_disclosing_subgraph(graph, target, hops)
+        assert set(enclosing.entities) <= set(disclosing.entities)
+        assert set(enclosing.triples) <= set(disclosing.triples)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_target_edge_never_leaks(self, seed):
+        graph = random_graph(seed)
+        if len(graph.triples) == 0:
+            return
+        target = graph.triples[seed % len(graph.triples)]
+        for extractor in (extract_enclosing_subgraph, extract_disclosing_subgraph):
+            sub = extractor(graph, target, 2)
+            assert target not in sub.triples
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_subgraph_edges_within_entity_set(self, seed):
+        graph = random_graph(seed)
+        if len(graph.triples) == 0:
+            return
+        target = graph.triples[0]
+        sub = extract_enclosing_subgraph(graph, target, 2)
+        entities = set(sub.entities)
+        for head, _rel, tail in sub.triples:
+            assert head in entities and tail in entities
+
+
+class TestAutogradProperties:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_random_composite_expression_gradcheck(self, seed):
+        rng = np.random.default_rng(seed)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+        c = Tensor(np.abs(rng.normal(size=(3, 2))) + 0.5, requires_grad=True)
+
+        def fn():
+            x = ops.matmul(a, b)
+            y = ops.sigmoid(ops.div(x, c))
+            z = ops.tanh(ops.add(y, ops.mul(x, 0.1)))
+            return ops.mean(ops.mul(z, z))
+
+        check_gradients(fn, [a, b, c], atol=1e-3, rtol=1e-3)
+
+    @given(seed=st.integers(0, 500), n=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_softmax_then_sum_is_constant(self, seed, n):
+        rng = np.random.default_rng(seed)
+        logits = Tensor(rng.normal(size=(2, n)), requires_grad=True)
+        total = ops.sum(ops.softmax(logits, axis=1))
+        assert float(total.data) == pytest.approx(2.0)
+        total.backward()
+        # Gradient of a constant function is ~0 everywhere.
+        assert np.allclose(logits.grad, 0.0, atol=1e-9)
+
+
+class TestSamplingProperties:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_corruption_never_returns_positive(self, seed):
+        rng = np.random.default_rng(seed)
+        triple = (0, 0, 1)
+        negative = corrupt_triple(triple, num_entities=20, rng=rng)
+        assert negative != triple
+        assert negative[1] == triple[1]
+
+
+class TestModelProperties:
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_scores_independent_of_batch_order(self, seed):
+        from repro.core import RMPI, RMPIConfig
+
+        graph = random_graph(seed, num_edges=14)
+        if len(graph.triples) < 3:
+            return
+        model = RMPI(graph.num_relations, np.random.default_rng(0), RMPIConfig(embed_dim=8))
+        model.eval()
+        triples = [graph.triples[i] for i in range(3)]
+        forward = model.score_triples(graph, triples)
+        backward = model.score_triples(graph, triples[::-1])
+        assert np.allclose(forward, backward[::-1])
+
+
+class TestStableHash:
+    def test_stable_known_values(self):
+        from repro.kg.hashing import stable_hash
+
+        # CRC32 is specified; these must never change across processes.
+        assert stable_hash("RMPI-base") == stable_hash("RMPI-base")
+        assert stable_hash("a") != stable_hash("b")
+        assert 0 <= stable_hash("anything") <= 0xFFFF
+        assert 0 <= stable_hash("anything", 0xFF) <= 0xFF

@@ -1,0 +1,146 @@
+"""Evaluation protocol tests with oracle and adversarial scorers."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    categorize_ext_triple,
+    evaluate_both,
+    evaluate_entity_prediction,
+    evaluate_triple_classification,
+    seen_relation_triples,
+    unseen_relation_triples,
+)
+from repro.kg import KnowledgeGraph, TripleSet
+
+
+class OracleScorer:
+    """Scores known facts 1.0 and everything else 0.0."""
+
+    def __init__(self, facts):
+        self.facts = set(facts)
+        self._noise = np.random.default_rng(0)
+
+    def score_triples(self, graph, triples):
+        # Tiny noise breaks ties among negatives without affecting order.
+        return np.array(
+            [
+                1.0 if t in self.facts else self._noise.uniform(0, 1e-6)
+                for t in triples
+            ]
+        )
+
+
+class AntiOracleScorer(OracleScorer):
+    def score_triples(self, graph, triples):
+        return -super().score_triples(graph, triples)
+
+
+class ConstantScorer:
+    def score_triples(self, graph, triples):
+        return np.zeros(len(triples))
+
+
+@pytest.fixture
+def setting():
+    graph = KnowledgeGraph.from_triples(
+        [(i, 0, (i + 1) % 20) for i in range(20)], num_entities=20, num_relations=2
+    )
+    targets = TripleSet([(i, 1, (i + 2) % 20) for i in range(10)])
+    return graph, targets
+
+
+class TestTripleClassification:
+    def test_oracle_scores_100(self, setting):
+        graph, targets = setting
+        oracle = OracleScorer(set(graph.triples) | set(targets))
+        result = evaluate_triple_classification(
+            oracle, graph, targets, np.random.default_rng(0)
+        )
+        assert result.auc_pr == pytest.approx(100.0)
+
+    def test_anti_oracle_scores_poorly(self, setting):
+        graph, targets = setting
+        anti = AntiOracleScorer(set(graph.triples) | set(targets))
+        result = evaluate_triple_classification(
+            anti, graph, targets, np.random.default_rng(0)
+        )
+        assert result.auc_pr < 70.0
+
+    def test_empty_targets_raise(self, setting):
+        graph, _ = setting
+        with pytest.raises(ValueError):
+            evaluate_triple_classification(
+                ConstantScorer(), graph, TripleSet(), np.random.default_rng(0)
+            )
+
+    def test_counts_reported(self, setting):
+        graph, targets = setting
+        result = evaluate_triple_classification(
+            ConstantScorer(), graph, targets, np.random.default_rng(0)
+        )
+        assert result.num_positives == len(targets)
+
+
+class TestEntityPrediction:
+    def test_oracle_ranks_first(self, setting):
+        graph, targets = setting
+        oracle = OracleScorer(set(graph.triples) | set(targets))
+        result = evaluate_entity_prediction(
+            oracle, graph, targets, np.random.default_rng(0), num_negatives=9
+        )
+        assert result.mrr == pytest.approx(100.0)
+        assert result.hits_at_10 == pytest.approx(100.0)
+        assert result.hits_at_1 == pytest.approx(100.0)
+
+    def test_constant_scorer_near_chance(self, setting):
+        graph, targets = setting
+        result = evaluate_entity_prediction(
+            ConstantScorer(), graph, targets, np.random.default_rng(0), num_negatives=9
+        )
+        # Mean tie rank over 10 candidates: 5.5 -> MRR ~ 18%.
+        assert result.mrr < 30.0
+
+    def test_deterministic_given_seed(self, setting):
+        graph, targets = setting
+        oracle = OracleScorer(set(graph.triples) | set(targets))
+        a = evaluate_entity_prediction(
+            oracle, graph, targets, np.random.default_rng(5), num_negatives=9
+        )
+        b = evaluate_entity_prediction(
+            oracle, graph, targets, np.random.default_rng(5), num_negatives=9
+        )
+        assert a == b
+
+    def test_num_queries(self, setting):
+        graph, targets = setting
+        result = evaluate_entity_prediction(
+            ConstantScorer(), graph, targets, np.random.default_rng(0), num_negatives=5
+        )
+        assert result.num_queries == len(targets)
+
+
+class TestEvaluateBoth:
+    def test_report_keys(self, setting):
+        graph, targets = setting
+        report = evaluate_both(ConstantScorer(), graph, targets, seed=0, num_negatives=5)
+        assert set(report.as_dict()) == {"AUC-PR", "MRR", "Hits@10", "Hits@1"}
+
+
+class TestSplits:
+    def test_relation_filters_partition(self):
+        targets = TripleSet([(0, 0, 1), (1, 1, 2), (2, 5, 3)])
+        seen = {0, 1}
+        unseen_part = unseen_relation_triples(targets, seen)
+        seen_part = seen_relation_triples(targets, seen)
+        assert unseen_part == TripleSet([(2, 5, 3)])
+        assert seen_part.union(unseen_part) == targets
+
+    def test_categorize_ext(self):
+        seen_entities = {0, 1, 2}
+        seen_relations = {0, 1}
+        assert categorize_ext_triple((0, 0, 1), seen_entities, seen_relations) == "seen"
+        assert categorize_ext_triple((5, 0, 6), seen_entities, seen_relations) == "u_ent"
+        assert categorize_ext_triple((0, 5, 1), seen_entities, seen_relations) == "u_rel"
+        assert categorize_ext_triple((0, 5, 9), seen_entities, seen_relations) == "u_both"
+        assert categorize_ext_triple((0, 0, 9), seen_entities, seen_relations) == "bridge"

@@ -1,0 +1,178 @@
+"""Tests for the rule-mining baseline, GraIL-format IO, and repeats."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RuleBasedScorer, RuleMiner, mine_and_build_scorer
+from repro.baselines.rules import COMPOSITION, EQUIVALENCE, INVERSION
+from repro.experiments import aggregate, run_repeated
+from repro.experiments.runner import ExperimentResult
+from repro.kg import (
+    KnowledgeGraph,
+    TripleSet,
+    load_benchmark,
+    save_benchmark,
+)
+
+
+def rule_graph():
+    """r2 is exactly the composition r0 ∘ r1; r3 is the inverse of r0."""
+    triples = []
+    for i in range(6):
+        x, z, y = i, i + 10, i + 20
+        triples += [(x, 0, z), (z, 1, y), (x, 2, y), (z, 3, x)]
+    return KnowledgeGraph.from_triples(triples)
+
+
+class TestRuleMiner:
+    def test_finds_composition_rule(self):
+        rules = RuleMiner(min_support=2, min_confidence=0.3).mine(rule_graph())
+        compositions = [
+            r for r in rules if r.kind == COMPOSITION and r.head == 2 and r.body == (0, 1)
+        ]
+        assert compositions
+        assert compositions[0].confidence > 0.5
+
+    def test_finds_inversion_rule(self):
+        rules = RuleMiner(min_support=2, min_confidence=0.3).mine(rule_graph())
+        inversions = [
+            r for r in rules if r.kind == INVERSION and r.head == 3 and r.body == (0,)
+        ]
+        assert inversions
+
+    def test_no_spurious_equivalence(self):
+        rules = RuleMiner(min_support=2, min_confidence=0.3).mine(rule_graph())
+        # r0 and r1 share no (x, y) pairs.
+        assert not any(
+            r.kind == EQUIVALENCE and {r.head, r.body[0]} == {0, 1} for r in rules
+        )
+
+    def test_rules_sorted_by_confidence(self):
+        rules = RuleMiner(min_support=1, min_confidence=0.0).mine(rule_graph())
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_describe(self):
+        rules = RuleMiner(min_support=2, min_confidence=0.3).mine(rule_graph())
+        text = rules[0].describe()
+        assert "conf=" in text and "<-" in text
+
+    def test_empty_graph(self):
+        rules = RuleMiner().mine(KnowledgeGraph.from_triples([]))
+        assert rules == []
+
+
+class TestRuleBasedScorer:
+    def test_matching_triple_scores_higher(self):
+        graph = rule_graph()
+        scorer = mine_and_build_scorer(graph, min_support=2, min_confidence=0.3)
+        # A fresh pair connected by r0∘r1 should score high for r2; an
+        # unconnected pair should score 0.
+        matched = scorer.score_triples(graph, [(0, 2, 20)])
+        unmatched = scorer.score_triples(graph, [(0, 2, 21)])
+        assert matched[0] > unmatched[0]
+        assert unmatched[0] == pytest.approx(0.0)
+
+    def test_inductive_application_to_new_entities(self):
+        train = rule_graph()
+        scorer = mine_and_build_scorer(train, min_support=2, min_confidence=0.3)
+        # New graph with totally new entity ids but the same pattern.
+        test = KnowledgeGraph.from_triples(
+            [(100, 0, 101), (101, 1, 102)], num_entities=200, num_relations=4
+        )
+        scores = scorer.score_triples(test, [(100, 2, 102), (100, 2, 101)])
+        assert scores[0] > scores[1]
+
+    def test_noisy_or_accumulates(self):
+        graph = rule_graph()
+        scorer = mine_and_build_scorer(graph, min_support=1, min_confidence=0.0)
+        score = scorer.score_triples(graph, [(0, 2, 20)])[0]
+        assert 0.0 < score <= 1.0
+
+    def test_unseen_relation_scores_zero(self):
+        graph = rule_graph()
+        scorer = mine_and_build_scorer(graph)
+        assert scorer.score_triples(graph, [(0, 99, 20)])[0] == 0.0
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path, tiny_partial_benchmark):
+        root = str(tmp_path / "bench")
+        save_benchmark(tiny_partial_benchmark, root)
+        loaded = load_benchmark(root)
+        original = tiny_partial_benchmark
+        assert len(loaded.train_graph.triples) == len(original.train_graph.triples)
+        assert len(loaded.valid_triples) == len(original.valid_triples)
+        assert len(loaded.test_triples) == len(original.test_triples)
+        assert loaded.seen_relations is not None
+
+    def test_loaded_benchmark_runs_models(self, tmp_path, tiny_partial_benchmark):
+        from repro.experiments import run_experiment
+        from repro.train import TrainingConfig
+
+        root = str(tmp_path / "bench")
+        save_benchmark(tiny_partial_benchmark, root)
+        loaded = load_benchmark(root, name="loaded")
+        result = run_experiment(
+            loaded,
+            "TACT-base",
+            TrainingConfig(epochs=1, seed=0, max_triples_per_epoch=10),
+            num_negatives=5,
+            embed_dim=8,
+        )
+        assert np.isfinite(list(result.metrics.values())).all()
+
+    def test_missing_valid_file_splits(self, tmp_path, tiny_partial_benchmark):
+        import os
+
+        root = str(tmp_path / "bench")
+        save_benchmark(tiny_partial_benchmark, root)
+        os.remove(os.path.join(root, "train", "valid.txt"))
+        loaded = load_benchmark(root)
+        assert len(loaded.valid_triples) > 0
+        assert not (set(loaded.train_triples) & set(loaded.valid_triples))
+
+    def test_disjoint_entity_vocabularies(self, tmp_path, tiny_partial_benchmark):
+        root = str(tmp_path / "bench")
+        save_benchmark(tiny_partial_benchmark, root)
+        loaded = load_benchmark(root)
+        train_symbols = set(loaded.train_graph.entity_vocab.symbols())
+        test_symbols = set(loaded.test_graph.entity_vocab.symbols())
+        assert not (train_symbols & test_symbols)
+
+
+class TestRepeats:
+    def _result(self, seed, value):
+        return ExperimentResult("b", "m", {"AUC-PR": value, "MRR": value / 2})
+
+    def test_aggregate_mean_std(self):
+        results = [self._result(i, v) for i, v in enumerate((80.0, 90.0))]
+        agg = aggregate(results)
+        assert agg.mean["AUC-PR"] == pytest.approx(85.0)
+        assert agg.std["AUC-PR"] == pytest.approx(5.0)
+        assert agg.runs == 2
+
+    def test_aggregate_rejects_mixed_cells(self):
+        a = ExperimentResult("b1", "m", {"AUC-PR": 1.0})
+        b = ExperimentResult("b2", "m", {"AUC-PR": 2.0})
+        with pytest.raises(ValueError):
+            aggregate([a, b])
+
+    def test_run_repeated_distinct_seeds(self):
+        seen = []
+
+        def once(seed):
+            seen.append(seed)
+            return ExperimentResult("b", "m", {"AUC-PR": float(seed)})
+
+        agg = run_repeated(once, repeats=3, base_seed=10)
+        assert seen == [10, 11, 12]
+        assert agg.mean["AUC-PR"] == pytest.approx(11.0)
+
+    def test_format_cell(self):
+        agg = aggregate([self._result(0, 80.0), self._result(1, 90.0)])
+        assert agg.format_cell("AUC-PR") == "85.00±5.00"
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_repeated(lambda s: self._result(s, 1.0), repeats=0)

@@ -1,0 +1,135 @@
+"""Schema graph, TransE pre-training, and projection tests."""
+
+import numpy as np
+import pytest
+
+from repro.kg import build_ontology, family_ontology
+from repro.schema import (
+    DOMAIN,
+    RANGE,
+    SUB_CLASS_OF,
+    SUB_PROPERTY_OF,
+    SchemaProjection,
+    TransE,
+    TransEConfig,
+    build_schema_graph,
+    pretrain_schema_embeddings,
+)
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return build_ontology(num_relations=15, num_concepts=8, num_extension_relations=4, seed=5)
+
+
+@pytest.fixture(scope="module")
+def schema(ontology):
+    return build_schema_graph(ontology)
+
+
+class TestSchemaGraph:
+    def test_every_relation_has_domain_and_range(self, ontology, schema):
+        triples = schema.triples
+        for rel in range(ontology.num_relations):
+            has_domain = ((triples[:, 0] == rel) & (triples[:, 1] == DOMAIN)).any()
+            has_range = ((triples[:, 0] == rel) & (triples[:, 1] == RANGE)).any()
+            assert has_domain and has_range
+
+    def test_subproperty_edges(self, ontology, schema):
+        triples = schema.triples
+        sp = triples[triples[:, 1] == SUB_PROPERTY_OF]
+        assert len(sp) == len(ontology.subproperty)
+        for child, parent in ontology.subproperty.items():
+            assert ((sp[:, 0] == child) & (sp[:, 2] == parent)).any()
+
+    def test_subclass_edges_exclude_root_loop(self, ontology, schema):
+        triples = schema.triples
+        sco = triples[triples[:, 1] == SUB_CLASS_OF]
+        assert all(h != t for h, _r, t in sco)
+
+    def test_node_id_layout(self, schema):
+        assert schema.relation_node(3) == 3
+        assert schema.concept_node(0) == schema.num_relations
+        assert schema.num_nodes == schema.num_relations + schema.num_concepts
+
+    def test_unseen_relations_connected_to_seen_via_concepts(self, ontology, schema):
+        # The paper's key schema property: unseen (extension) relations share
+        # concept nodes with seen relations.
+        triples = schema.triples
+        core = set(range(11))
+        core_concepts = set(
+            triples[(np.isin(triples[:, 0], list(core))) & (triples[:, 1] != SUB_PROPERTY_OF)][:, 2].tolist()
+        )
+        for rel in range(11, 15):
+            rel_edges = triples[(triples[:, 0] == rel) | (triples[:, 2] == rel)]
+            touches = set(rel_edges[:, 0].tolist()) | set(rel_edges[:, 2].tolist())
+            assert touches - {rel}, f"extension relation {rel} isolated in schema"
+
+
+class TestTransE:
+    def test_training_reduces_loss(self, schema):
+        model = TransE(schema, TransEConfig(dim=16, epochs=40, seed=0))
+        losses = model.fit()
+        assert losses[-1] < losses[0]
+
+    def test_positive_scores_beat_corrupted(self, schema):
+        model = TransE(schema, TransEConfig(dim=16, epochs=60, seed=0))
+        model.fit()
+        triples = schema.triples
+        rng = np.random.default_rng(0)
+        pos = model.score(triples[:, 0], triples[:, 1], triples[:, 2])
+        corrupt = rng.integers(schema.num_nodes, size=len(triples))
+        neg = model.score(triples[:, 0], triples[:, 1], corrupt)
+        assert pos.mean() > neg.mean()
+
+    def test_node_embeddings_normalised(self, schema):
+        model = TransE(schema, TransEConfig(dim=16, epochs=5, seed=0))
+        model.fit()
+        norms = np.linalg.norm(model.node_embeddings, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-6)
+
+    def test_relation_vectors_shape(self, schema):
+        vectors = pretrain_schema_embeddings(schema, TransEConfig(dim=16, epochs=5))
+        assert vectors.shape == (schema.num_relations, 16)
+
+    def test_deterministic(self, schema):
+        a = pretrain_schema_embeddings(schema, TransEConfig(dim=8, epochs=5, seed=3))
+        b = pretrain_schema_embeddings(schema, TransEConfig(dim=8, epochs=5, seed=3))
+        assert np.allclose(a, b)
+
+    def test_related_relations_closer_than_unrelated(self, ontology, schema):
+        # Relations sharing domain+range should end nearer than ones
+        # sharing nothing, on average.
+        vectors = pretrain_schema_embeddings(schema, TransEConfig(dim=16, epochs=80))
+        sharing, disjoint = [], []
+        for i in range(ontology.num_relations):
+            for j in range(i + 1, ontology.num_relations):
+                si, sj = ontology.signatures[i], ontology.signatures[j]
+                dist = float(np.linalg.norm(vectors[i] - vectors[j]))
+                if si.domain == sj.domain and si.range == sj.range:
+                    sharing.append(dist)
+                elif si.domain != sj.domain and si.range != sj.range:
+                    disjoint.append(dist)
+        if sharing and disjoint:
+            assert np.mean(sharing) < np.mean(disjoint)
+
+
+class TestProjection:
+    def test_output_shape(self, schema):
+        vectors = pretrain_schema_embeddings(schema, TransEConfig(dim=16, epochs=5))
+        proj = SchemaProjection(vectors, output_dim=8, rng=np.random.default_rng(0))
+        out = proj([0, 3, 14])
+        assert out.shape == (3, 8)
+
+    def test_gradients_flow_to_projection_not_schema(self, schema):
+        vectors = pretrain_schema_embeddings(schema, TransEConfig(dim=16, epochs=5))
+        proj = SchemaProjection(vectors, output_dim=8, rng=np.random.default_rng(0))
+        proj([0, 1]).sum().backward()
+        assert proj.inner.weight.grad is not None
+        assert proj.outer.weight.grad is not None
+        assert proj.schema_vectors.grad is None  # frozen
+
+    def test_num_relations(self, schema):
+        vectors = pretrain_schema_embeddings(schema, TransEConfig(dim=16, epochs=5))
+        proj = SchemaProjection(vectors, output_dim=8, rng=np.random.default_rng(0))
+        assert proj.num_relations == schema.num_relations

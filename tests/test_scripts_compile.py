@@ -1,0 +1,38 @@
+"""Every example and benchmark script must at least compile.
+
+Full executions are exercised manually / by the benchmark suite; this
+guards against bit-rot (renamed imports, syntax errors) at test speed.
+"""
+
+import os
+import py_compile
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _scripts(directory):
+    path = os.path.join(ROOT, directory)
+    return sorted(
+        os.path.join(path, name)
+        for name in os.listdir(path)
+        if name.endswith(".py")
+    )
+
+
+@pytest.mark.parametrize("script", _scripts("examples"), ids=os.path.basename)
+def test_example_compiles(script):
+    py_compile.compile(script, doraise=True)
+
+
+@pytest.mark.parametrize("script", _scripts("benchmarks"), ids=os.path.basename)
+def test_benchmark_script_compiles(script):
+    py_compile.compile(script, doraise=True)
+
+
+@pytest.mark.parametrize("script", _scripts("examples"), ids=os.path.basename)
+def test_example_has_module_docstring(script):
+    with open(script, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    assert source.lstrip().startswith('"""'), f"{script} lacks a docstring"

@@ -1,0 +1,116 @@
+"""Edge-case behaviour of the subgraph pipeline.
+
+Self-loops, parallel edges (PARA), crossed pairs (LOOP), hop-count
+monotonicity, and ID-space independence — the corners that real KGs hit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RMPI, RMPIConfig
+from repro.kg import KnowledgeGraph
+from repro.subgraph import (
+    build_message_plan,
+    build_relational_graph,
+    extract_enclosing_subgraph,
+)
+from repro.subgraph.linegraph import LOOP, PARA
+
+
+class TestSelfLoops:
+    def test_self_loop_in_context_survives_pipeline(self):
+        # (1,r1,1) self-loop adjacent to the target's path.
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 1, 1), (1, 0, 2), (0, 2, 2)])
+        sub = extract_enclosing_subgraph(g, (0, 2, 2), num_hops=2)
+        assert (1, 1, 1) in sub.triples
+        rg = build_relational_graph(sub)
+        plan = build_message_plan(rg, 2)
+        assert plan.num_nodes >= 1
+
+    def test_self_loop_target_scoreable(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 0, 0), (0, 1, 0)])
+        model = RMPI(g.num_relations, np.random.default_rng(0), RMPIConfig(embed_dim=8))
+        scores = model.score_triples(g, [(0, 1, 0)])
+        assert np.isfinite(scores).all()
+
+
+class TestParallelAndLoopPatterns:
+    def test_para_edges_in_extracted_graph(self):
+        # Two parallel relations between the same pair.
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (0, 1, 1), (0, 2, 1)])
+        sub = extract_enclosing_subgraph(g, (0, 2, 1), num_hops=1)
+        rg = build_relational_graph(sub)
+        types = set(rg.edges[:, 1].tolist())
+        assert PARA in types
+
+    def test_loop_edges_in_extracted_graph(self):
+        # r0 and r1 connect the pair in opposite directions.
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 1, 0), (0, 2, 1)])
+        sub = extract_enclosing_subgraph(g, (0, 2, 1), num_hops=1)
+        rg = build_relational_graph(sub)
+        types = set(rg.edges[:, 1].tolist())
+        assert LOOP in types
+
+
+class TestHopMonotonicity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_larger_k_never_shrinks_entity_set(self, seed):
+        rng = np.random.default_rng(seed)
+        triples = sorted(
+            {
+                (int(rng.integers(12)), int(rng.integers(3)), int(rng.integers(12)))
+                for _ in range(25)
+            }
+        )
+        triples = [(h, r, t) for h, r, t in triples if h != t]
+        g = KnowledgeGraph.from_triples(triples, num_entities=12, num_relations=3)
+        target = g.triples[0]
+        previous: set = set()
+        for hops in (1, 2, 3):
+            sub = extract_enclosing_subgraph(g, target, hops)
+            entities = set(sub.entities)
+            assert previous <= entities
+            previous = entities
+
+
+class TestIdSpaceIndependence:
+    def test_scores_invariant_under_entity_relabeling(self):
+        # Same structure, shifted entity ids: RMPI scores must match exactly
+        # (it never reads entity ids, only relations and structure).
+        base = [(0, 0, 1), (1, 1, 2), (0, 2, 2), (2, 0, 3)]
+        shifted = [(h + 50, r, t + 50) for h, r, t in base]
+        g1 = KnowledgeGraph.from_triples(base, num_entities=100, num_relations=3)
+        g2 = KnowledgeGraph.from_triples(shifted, num_entities=100, num_relations=3)
+        model = RMPI(3, np.random.default_rng(0), RMPIConfig(embed_dim=8))
+        model.eval()
+        s1 = model.score_triples(g1, [(0, 2, 2)])
+        s2 = model.score_triples(g2, [(50, 2, 52)])
+        assert s1 == pytest.approx(s2)
+
+    def test_scores_change_under_relation_relabeling(self):
+        # Relations ARE meaningful: permuting them changes the score.
+        base = [(0, 0, 1), (1, 1, 2), (0, 2, 2)]
+        permuted = [(0, 1, 1), (1, 0, 2), (0, 2, 2)]
+        g1 = KnowledgeGraph.from_triples(base, num_entities=10, num_relations=3)
+        g2 = KnowledgeGraph.from_triples(permuted, num_entities=10, num_relations=3)
+        model = RMPI(3, np.random.default_rng(0), RMPIConfig(embed_dim=8))
+        model.eval()
+        s1 = model.score_triples(g1, [(0, 2, 2)])
+        s2 = model.score_triples(g2, [(0, 2, 2)])
+        assert s1[0] != pytest.approx(s2[0])
+
+
+class TestDenseHub:
+    def test_hub_entity_does_not_blow_up(self):
+        # A hub with 30 incident edges: line graph is quadratic in degree;
+        # the pipeline must stay correct and bounded.
+        triples = [(0, 0, i) for i in range(1, 31)] + [(1, 1, 2)]
+        g = KnowledgeGraph.from_triples(triples)
+        sub = extract_enclosing_subgraph(g, (1, 1, 2), num_hops=2)
+        rg = build_relational_graph(sub)
+        plan = build_message_plan(rg, 2)
+        model = RMPI(g.num_relations, np.random.default_rng(0), RMPIConfig(embed_dim=8))
+        scores = model.score_triples(g, [(1, 1, 2)])
+        assert np.isfinite(scores).all()
+        # Pruning keeps only what can reach the target.
+        assert plan.num_nodes <= rg.num_nodes

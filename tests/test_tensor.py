@@ -1,0 +1,162 @@
+"""Tests for the Tensor core: construction, backward, graph traversal."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor
+from repro.autograd.tensor import unbroadcast
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_from_int_array_coerces_to_float(self):
+        t = Tensor(np.array([1, 2, 3]))
+        assert t.data.dtype == np.float64
+
+    def test_scalar(self):
+        t = Tensor(5.0)
+        assert t.shape == ()
+        assert t.item() == 5.0
+
+    def test_requires_grad_default_false(self):
+        assert not Tensor([1.0]).requires_grad
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+
+    def test_as_tensor_wraps_scalar(self):
+        assert isinstance(as_tensor(3.0), Tensor)
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = (a * 2.0).detach()
+        assert not b.requires_grad
+        c = (b * 3.0).sum()
+        c.backward()
+        assert a.grad is None
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        c = b + 1.0
+        c.backward()
+        assert a.grad == pytest.approx([3.0])
+
+    def test_gradient_accumulates_across_backwards(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).backward()
+        (a * 2.0).backward()
+        assert a.grad == pytest.approx([4.0])
+
+    def test_diamond_graph_sums_paths(self):
+        # f = a*a + a  ->  df/da = 2a + 1
+        a = Tensor([3.0], requires_grad=True)
+        out = a * a + a
+        out.backward()
+        assert a.grad == pytest.approx([7.0])
+
+    def test_reused_node_many_times(self):
+        a = Tensor([1.0], requires_grad=True)
+        total = a
+        for _ in range(10):
+            total = total + a
+        total.backward()
+        assert a.grad == pytest.approx([11.0])
+
+    def test_backward_seed_shape_checked(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2.0).backward(np.ones(3))
+
+    def test_explicit_seed(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2.0).backward(np.array([1.0, 10.0]))
+        assert a.grad == pytest.approx([2.0, 20.0])
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 1.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_no_grad_for_constants(self):
+        a = Tensor([1.0])
+        b = Tensor([2.0], requires_grad=True)
+        (a * b).backward()
+        assert a.grad is None
+        assert b.grad == pytest.approx([1.0])
+
+    def test_deep_chain_is_iterative_not_recursive(self):
+        # Would blow Python's recursion limit if topological sort recursed.
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(5000):
+            out = out + 0.0
+        out.backward()
+        assert a.grad == pytest.approx([1.0])
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((3, 2))
+        assert unbroadcast(g, (3, 2)).shape == (3, 2)
+
+    def test_leading_axis_summed(self):
+        g = np.ones((4, 3))
+        out = unbroadcast(g, (3,))
+        assert out.shape == (3,)
+        assert np.allclose(out, 4.0)
+
+    def test_keepdim_axis_summed(self):
+        g = np.ones((3, 5))
+        out = unbroadcast(g, (3, 1))
+        assert out.shape == (3, 1)
+        assert np.allclose(out, 5.0)
+
+    def test_scalar_target(self):
+        g = np.ones((2, 2))
+        out = unbroadcast(g, ())
+        assert out.shape == ()
+        assert out == pytest.approx(4.0)
+
+
+class TestOperatorOverloads:
+    def test_radd_rsub_rmul_rtruediv(self):
+        a = Tensor([2.0], requires_grad=True)
+        assert (1.0 + a).data == pytest.approx([3.0])
+        assert (5.0 - a).data == pytest.approx([3.0])
+        assert (3.0 * a).data == pytest.approx([6.0])
+        assert (8.0 / a).data == pytest.approx([4.0])
+
+    def test_neg_and_pow(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = (-a) + a**2
+        out.backward()
+        assert out.data == pytest.approx([2.0])
+        assert a.grad == pytest.approx([3.0])  # -1 + 2a
+
+    def test_getitem_backward(self):
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        a[np.array([0, 0, 2])].sum().backward()
+        assert a.grad == pytest.approx([2.0, 0.0, 1.0])
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2), requires_grad=True)
+        b = Tensor([[1.0], [2.0]])
+        out = (a @ b).sum()
+        out.backward()
+        assert a.grad == pytest.approx(np.array([[1.0, 2.0], [1.0, 2.0]]))
+
+    def test_transpose_property(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        assert a.T.shape == (3, 2)

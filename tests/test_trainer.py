@@ -1,0 +1,127 @@
+"""Trainer tests: convergence, caps, early stopping, best-state restore."""
+
+import numpy as np
+import pytest
+
+from repro.core import RMPI, RMPIConfig
+from repro.train import Trainer, TrainingConfig, train_model
+
+
+@pytest.fixture
+def bench(tiny_partial_benchmark):
+    return tiny_partial_benchmark
+
+
+def make_model(bench, seed=0):
+    return RMPI(
+        bench.num_relations,
+        np.random.default_rng(seed),
+        RMPIConfig(embed_dim=16, dropout=0.0),
+    )
+
+
+class TestFit:
+    def test_loss_decreases(self, bench):
+        model = make_model(bench)
+        history = train_model(
+            model,
+            bench.train_graph,
+            bench.train_triples,
+            config=TrainingConfig(epochs=8, seed=0),
+        )
+        assert len(history.losses) == 8
+        assert history.losses[-1] < history.losses[0]
+
+    def test_max_triples_cap(self, bench):
+        model = make_model(bench)
+        trainer = Trainer(
+            model,
+            bench.train_graph,
+            bench.train_triples,
+            config=TrainingConfig(epochs=1, max_triples_per_epoch=5, seed=0),
+        )
+        trainer.fit()
+        # 5 positives + 5 negatives prepared at most (plus shared subgraphs).
+        assert model.cache_size() <= 10
+
+    def test_parameters_change(self, bench):
+        model = make_model(bench)
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        train_model(
+            model,
+            bench.train_graph,
+            bench.train_triples,
+            config=TrainingConfig(epochs=1, seed=0),
+        )
+        after = model.state_dict()
+        changed = [k for k in before if not np.allclose(before[k], after[k])]
+        assert changed
+
+    def test_model_left_in_eval_mode(self, bench):
+        model = make_model(bench)
+        train_model(
+            model,
+            bench.train_graph,
+            bench.train_triples,
+            config=TrainingConfig(epochs=1, seed=0),
+        )
+        assert not model.training
+
+    def test_deterministic_given_seed(self, bench):
+        results = []
+        for _ in range(2):
+            model = make_model(bench, seed=1)
+            history = train_model(
+                model,
+                bench.train_graph,
+                bench.train_triples,
+                config=TrainingConfig(epochs=2, seed=1),
+            )
+            results.append(history.losses)
+        assert results[0] == pytest.approx(results[1])
+
+
+class TestValidation:
+    def test_validation_recorded(self, bench):
+        model = make_model(bench)
+        history = train_model(
+            model,
+            bench.train_graph,
+            bench.train_triples,
+            bench.valid_triples,
+            TrainingConfig(epochs=4, validate_every=2, seed=0),
+        )
+        assert len(history.validation_auc_pr) >= 1
+        assert history.best_epoch >= 0
+
+    def test_early_stopping(self, bench):
+        model = make_model(bench)
+        history = train_model(
+            model,
+            bench.train_graph,
+            bench.train_triples,
+            bench.valid_triples,
+            TrainingConfig(epochs=50, validate_every=1, patience=1, seed=0),
+        )
+        # With patience 1 on a small set, training should stop well short.
+        assert len(history.losses) < 50 or history.stopped_early
+
+    def test_best_state_restored(self, bench):
+        model = make_model(bench)
+        trainer = Trainer(
+            model,
+            bench.train_graph,
+            bench.train_triples,
+            bench.valid_triples,
+            TrainingConfig(epochs=6, validate_every=1, patience=2, seed=0),
+        )
+        history = trainer.fit()
+        if history.best_epoch >= 0:
+            final_auc = trainer._validate(history.best_epoch)
+            # Restored model reproduces its best validation score.
+            assert final_auc == pytest.approx(
+                history.validation_auc_pr[history.best_epoch]
+                if history.best_epoch < len(history.validation_auc_pr)
+                else max(history.validation_auc_pr),
+                abs=1e-9,
+            )

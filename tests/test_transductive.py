@@ -1,0 +1,172 @@
+"""Transductive embedding model tests."""
+
+import numpy as np
+import pytest
+
+from repro.kg import TripleSet
+from repro.transductive import (
+    MODEL_REGISTRY,
+    ComplEx,
+    DistMult,
+    RotatE,
+    TransE,
+    TransH,
+    TransductiveTrainingConfig,
+    create_model,
+    evaluate_link_prediction,
+    train_transductive,
+)
+
+
+def toy_triples():
+    """A small graph with clear structure: a ring under r0, plus r1 = r0^-1."""
+    ring = [(i, 0, (i + 1) % 8) for i in range(8)]
+    inverse = [(t, 1, h) for h, t in ((i, (i + 1) % 8) for i in range(8))]
+    return TripleSet(ring + inverse)
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+class TestAllModels:
+    def test_score_shape_and_finiteness(self, name):
+        model = create_model(name, 10, 3, 8, np.random.default_rng(0))
+        scores = model.score_array([(0, 0, 1), (2, 1, 3)])
+        assert scores.shape == (2,)
+        assert np.isfinite(scores).all()
+
+    def test_gradients_flow(self, name):
+        model = create_model(name, 10, 3, 8, np.random.default_rng(0))
+        heads = np.array([0, 1])
+        rels = np.array([0, 1])
+        tails = np.array([2, 3])
+        model.score(heads, rels, tails).sum().backward()
+        assert model.entities.weight.grad is not None
+
+    def test_training_reduces_loss(self, name):
+        model = create_model(name, 8, 2, 8, np.random.default_rng(0))
+        losses = train_transductive(
+            model,
+            toy_triples(),
+            TransductiveTrainingConfig(epochs=30, learning_rate=0.05, seed=0),
+        )
+        assert losses[-1] < losses[0]
+
+    def test_positives_beat_random_after_training(self, name):
+        model = create_model(name, 8, 2, 8, np.random.default_rng(0))
+        triples = toy_triples()
+        train_transductive(
+            model,
+            triples,
+            TransductiveTrainingConfig(epochs=60, learning_rate=0.05, seed=0),
+        )
+        pos = model.score_array(list(triples)).mean()
+        rng = np.random.default_rng(1)
+        random_triples = [
+            (int(rng.integers(8)), int(rng.integers(2)), int(rng.integers(8)))
+            for _ in range(32)
+        ]
+        neg = model.score_array(
+            [t for t in random_triples if t not in set(triples)]
+        ).mean()
+        assert pos > neg
+
+    def test_relation_vectors_shape(self, name):
+        model = create_model(name, 10, 4, 8, np.random.default_rng(0))
+        assert model.relation_vectors().shape == (4, 8)
+
+
+class TestModelSpecifics:
+    def test_transe_translation_score(self):
+        model = TransE(4, 2, 4, np.random.default_rng(0))
+        # Force h + r == t exactly: score must be 0 (maximal).
+        model.entities.weight.data[0] = np.array([1.0, 0, 0, 0])
+        model.relations.weight.data[0] = np.array([0, 1.0, 0, 0])
+        model.entities.weight.data[1] = np.array([1.0, 1.0, 0, 0])
+        assert model.score_array([(0, 0, 1)])[0] == pytest.approx(0.0)
+
+    def test_distmult_symmetric(self):
+        model = DistMult(6, 2, 8, np.random.default_rng(0))
+        forward = model.score_array([(0, 0, 1)])
+        backward = model.score_array([(1, 0, 0)])
+        assert forward[0] == pytest.approx(backward[0])
+
+    def test_complex_asymmetric(self):
+        model = ComplEx(6, 2, 8, np.random.default_rng(0))
+        forward = model.score_array([(0, 0, 1)])
+        backward = model.score_array([(1, 0, 0)])
+        assert forward[0] != pytest.approx(backward[0])
+
+    def test_complex_requires_even_dim(self):
+        with pytest.raises(ValueError):
+            ComplEx(4, 2, 7, np.random.default_rng(0))
+
+    def test_rotate_zero_phase_is_identity_rotation(self):
+        model = RotatE(4, 1, 4, np.random.default_rng(0))
+        model.relations.weight.data[:] = 0.0  # zero phases
+        model.entities.weight.data[0] = np.array([1.0, 2.0, 3.0, 4.0])
+        model.entities.weight.data[1] = np.array([1.0, 2.0, 3.0, 4.0])
+        # h rotated by 0 equals t -> distance 0.
+        assert model.score_array([(0, 0, 1)])[0] == pytest.approx(0.0)
+
+    def test_transh_projection_orthogonal(self):
+        model = TransH(4, 2, 4, np.random.default_rng(0))
+        from repro.autograd import Tensor
+
+        vectors = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        normals = Tensor(np.random.default_rng(2).normal(size=(3, 4)))
+        projected = model._project(vectors, normals)
+        unit = normals.data / np.linalg.norm(normals.data, axis=1, keepdims=True)
+        dots = (projected.data * unit).sum(axis=1)
+        assert np.allclose(dots, 0.0, atol=1e-7)
+
+    def test_unknown_model_name(self):
+        with pytest.raises(ValueError):
+            create_model("PairRE", 4, 2, 4, np.random.default_rng(0))
+
+
+class TestTrainerAndEval:
+    def test_softplus_loss_path(self):
+        model = TransE(8, 2, 8, np.random.default_rng(0))
+        losses = train_transductive(
+            model,
+            toy_triples(),
+            TransductiveTrainingConfig(epochs=10, loss="softplus", seed=0),
+        )
+        assert np.isfinite(losses).all()
+
+    def test_invalid_loss_name(self):
+        with pytest.raises(ValueError):
+            TransductiveTrainingConfig(loss="nll")
+
+    def test_link_prediction_after_training(self):
+        model = DistMult(8, 2, 16, np.random.default_rng(0))
+        triples = toy_triples()
+        train_transductive(
+            model,
+            triples,
+            TransductiveTrainingConfig(epochs=80, learning_rate=0.05, seed=0),
+        )
+        result = evaluate_link_prediction(
+            model, triples.sample(8, np.random.default_rng(0)), triples,
+            num_negatives=5,
+        )
+        assert result.mrr > 40.0  # well above the ~37% chance level for n=6
+
+
+class TestSchemaPretrainingBackends:
+    @pytest.mark.parametrize("name", ["TransE", "DistMult", "RotatE"])
+    def test_backend_produces_vectors(self, name):
+        from repro.kg import build_ontology
+        from repro.schema import build_schema_graph
+        from repro.schema.pretraining import pretrain_schema_with
+        from repro.transductive import TransductiveTrainingConfig
+
+        ontology = build_ontology(10, num_concepts=6, seed=1)
+        schema = build_schema_graph(ontology)
+        vectors = pretrain_schema_with(
+            schema,
+            name,
+            dim=8,
+            config=TransductiveTrainingConfig(epochs=5, seed=0),
+        )
+        assert vectors.shape == (10, 8)
+        assert np.isfinite(vectors).all()

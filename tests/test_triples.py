@@ -1,0 +1,106 @@
+"""TripleSet tests, incl. hypothesis set-algebra properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg import TripleSet
+
+triple_strategy = st.tuples(
+    st.integers(0, 10), st.integers(0, 4), st.integers(0, 10)
+)
+tripleset_strategy = st.lists(triple_strategy, max_size=30).map(TripleSet)
+
+
+class TestBasics:
+    def test_empty(self):
+        ts = TripleSet()
+        assert len(ts) == 0
+        assert ts.entities() == set()
+        assert ts.relation_ids() == set()
+        assert ts.array.shape == (0, 3)
+
+    def test_membership(self):
+        ts = TripleSet([(1, 0, 2)])
+        assert (1, 0, 2) in ts
+        assert (2, 0, 1) not in ts
+
+    def test_deduplication(self):
+        ts = TripleSet([(1, 0, 2), (1, 0, 2)])
+        # Array keeps occurrences but set-semantics equality holds.
+        assert (1, 0, 2) in ts
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ValueError):
+            TripleSet([(1, 2)])
+
+    def test_from_array_validates_shape(self):
+        with pytest.raises(ValueError):
+            TripleSet.from_array(np.zeros((2, 4)))
+
+    def test_columns(self):
+        ts = TripleSet([(1, 2, 3), (4, 5, 6)])
+        assert ts.heads.tolist() == [1, 4]
+        assert ts.relations.tolist() == [2, 5]
+        assert ts.tails.tolist() == [3, 6]
+
+    def test_entities_and_relations(self):
+        ts = TripleSet([(1, 0, 2), (2, 1, 3)])
+        assert ts.entities() == {1, 2, 3}
+        assert ts.relation_ids() == {0, 1}
+
+    def test_iteration_yields_python_ints(self):
+        ts = TripleSet([(1, 0, 2)])
+        triple = next(iter(ts))
+        assert all(isinstance(x, int) for x in triple)
+
+    def test_getitem(self):
+        ts = TripleSet([(1, 0, 2), (3, 1, 4)])
+        assert ts[1] == (3, 1, 4)
+
+    def test_equality_is_set_based(self):
+        assert TripleSet([(1, 0, 2), (3, 1, 4)]) == TripleSet([(3, 1, 4), (1, 0, 2)])
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = TripleSet([(1, 0, 2)])
+        b = TripleSet([(3, 0, 4)])
+        assert len(a.union(b)) == 2
+
+    def test_difference(self):
+        a = TripleSet([(1, 0, 2), (3, 0, 4)])
+        b = TripleSet([(1, 0, 2)])
+        assert a.difference(b) == TripleSet([(3, 0, 4)])
+
+    def test_filter_relations(self):
+        a = TripleSet([(1, 0, 2), (3, 1, 4), (5, 2, 6)])
+        assert a.filter_relations({0, 2}) == TripleSet([(1, 0, 2), (5, 2, 6)])
+
+    def test_sample_respects_count(self):
+        rng = np.random.default_rng(0)
+        a = TripleSet([(i, 0, i + 1) for i in range(10)])
+        assert len(a.sample(4, rng)) == 4
+
+    def test_sample_caps_at_len(self):
+        rng = np.random.default_rng(0)
+        a = TripleSet([(1, 0, 2)])
+        assert len(a.sample(10, rng)) == 1
+
+    @given(a=tripleset_strategy, b=tripleset_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_union_commutes(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(a=tripleset_strategy, b=tripleset_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_difference_disjoint_from_subtrahend(self, a, b):
+        diff = a.difference(b)
+        assert all(t not in b for t in diff)
+
+    @given(a=tripleset_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_filter_identity(self, a):
+        assert a.filter(lambda t: True) == a
+        assert len(a.filter(lambda t: False)) == 0

@@ -1,0 +1,165 @@
+"""Vocabulary, TSV IO, and negative sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.kg import (
+    TripleSet,
+    Vocabulary,
+    corrupt_triple,
+    load_triples_tsv,
+    negative_triples,
+    ranking_candidates,
+    save_triples_tsv,
+)
+
+
+class TestVocabulary:
+    def test_insertion_order_ids(self):
+        v = Vocabulary(["a", "b"])
+        assert v.id_of("a") == 0
+        assert v.id_of("b") == 1
+
+    def test_add_idempotent(self):
+        v = Vocabulary()
+        assert v.add("x") == v.add("x") == 0
+        assert len(v) == 1
+
+    def test_symbol_roundtrip(self):
+        v = Vocabulary(["alpha", "beta"])
+        assert v.symbol_of(v.id_of("beta")) == "beta"
+
+    def test_contains_and_iter(self):
+        v = Vocabulary(["a"])
+        assert "a" in v and "z" not in v
+        assert list(v) == ["a"]
+
+    def test_equality(self):
+        assert Vocabulary(["a", "b"]) == Vocabulary(["a", "b"])
+        assert Vocabulary(["a", "b"]) != Vocabulary(["b", "a"])
+
+
+class TestTSVRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        entities = Vocabulary(["A", "B", "C"])
+        relations = Vocabulary(["knows", "likes"])
+        triples = TripleSet([(0, 0, 1), (1, 1, 2)])
+        path = str(tmp_path / "triples.tsv")
+        save_triples_tsv(path, triples, entities, relations)
+        loaded, e2, r2 = load_triples_tsv(path)
+        names = {
+            (e2.symbol_of(h), r2.symbol_of(r), e2.symbol_of(t)) for h, r, t in loaded
+        }
+        assert names == {("A", "knows", "B"), ("B", "likes", "C")}
+
+    def test_shared_vocab_extension(self, tmp_path):
+        entities = Vocabulary(["A"])
+        relations = Vocabulary(["r"])
+        save_triples_tsv(
+            str(tmp_path / "a.tsv"), TripleSet([(0, 0, 0)]), entities, relations
+        )
+        loaded, e2, r2 = load_triples_tsv(str(tmp_path / "a.tsv"), entities, relations)
+        assert e2 is entities  # extended in place
+        assert len(e2) == 1
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only two\tcolumns\n")
+        with pytest.raises(ValueError):
+            load_triples_tsv(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.tsv"
+        path.write_text("a\tr\tb\n\n")
+        loaded, _, _ = load_triples_tsv(str(path))
+        assert len(loaded) == 1
+
+
+class TestNegativeSampling:
+    def test_corrupt_differs_from_original(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            neg = corrupt_triple((0, 0, 1), num_entities=10, rng=rng)
+            assert neg != (0, 0, 1)
+
+    def test_corrupt_keeps_relation(self):
+        rng = np.random.default_rng(0)
+        neg = corrupt_triple((0, 3, 1), num_entities=10, rng=rng)
+        assert neg[1] == 3
+
+    def test_corrupt_changes_exactly_one_side(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            h, r, t = corrupt_triple((0, 0, 1), num_entities=10, rng=rng)
+            assert (h == 0) != (t == 1) or (h != 0 and t == 1) or (h == 0 and t != 1)
+            assert (h, t).count(0) <= 2
+
+    def test_avoids_known_facts(self):
+        rng = np.random.default_rng(0)
+        known = {(h, 0, 1) for h in range(10)} - {(5, 0, 1)}
+        known |= {(0, 0, t) for t in range(10)} - {(0, 0, 5)}
+        for _ in range(20):
+            neg = corrupt_triple((0, 0, 1), 10, rng, known=known)
+            assert neg not in known
+
+    def test_candidate_restriction(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            h, r, t = corrupt_triple(
+                (0, 0, 1), 100, rng, candidate_entities=[2, 3]
+            )
+            assert {h, t} <= {0, 1, 2, 3}
+
+    def test_negative_triples_aligned(self):
+        rng = np.random.default_rng(0)
+        positives = TripleSet([(0, 0, 1), (2, 1, 3)])
+        negatives = negative_triples(positives, 10, rng)
+        assert len(negatives) == 2
+        assert negatives[0][1] == 0 and negatives[1][1] == 1
+
+    def test_per_positive_multiplier(self):
+        rng = np.random.default_rng(0)
+        positives = TripleSet([(0, 0, 1)])
+        assert len(negative_triples(positives, 10, rng, per_positive=3)) == 3
+
+
+class TestRankingCandidates:
+    def test_ground_truth_first(self):
+        rng = np.random.default_rng(0)
+        candidates = ranking_candidates((0, 0, 1), 100, rng, num_negatives=49)
+        assert candidates[0] == (0, 0, 1)
+
+    def test_count_and_uniqueness(self):
+        rng = np.random.default_rng(0)
+        candidates = ranking_candidates((0, 0, 1), 100, rng, num_negatives=49)
+        assert len(candidates) == 50
+        assert len(set(candidates)) == 50
+
+    def test_tail_corruption_only_changes_tail(self):
+        rng = np.random.default_rng(0)
+        candidates = ranking_candidates(
+            (7, 3, 1), 100, rng, num_negatives=10, corrupt_head=False
+        )
+        assert all(c[0] == 7 and c[1] == 3 for c in candidates)
+
+    def test_head_corruption_only_changes_head(self):
+        rng = np.random.default_rng(0)
+        candidates = ranking_candidates(
+            (7, 3, 1), 100, rng, num_negatives=10, corrupt_head=True
+        )
+        assert all(c[2] == 1 and c[1] == 3 for c in candidates)
+
+    def test_known_filtered(self):
+        rng = np.random.default_rng(0)
+        known = {(7, 3, t) for t in range(50)}
+        candidates = ranking_candidates(
+            (7, 3, 1), 50, rng, num_negatives=10, known=known - {(7, 3, 1)}
+        )
+        assert all(c == (7, 3, 1) or c not in known for c in candidates)
+
+    def test_small_entity_pool_caps_candidates(self):
+        rng = np.random.default_rng(0)
+        candidates = ranking_candidates(
+            (0, 0, 1), 3, rng, num_negatives=49, candidate_entities=[0, 1, 2]
+        )
+        assert len(candidates) <= 4
