@@ -24,7 +24,10 @@ from repro.autograd.segment import gather, segment_mean, segment_sum
 from repro.core.base import SubgraphScoringModel
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
-from repro.subgraph.extraction import extract_enclosing_subgraph
+from repro.subgraph.extraction import (
+    ExtractedSubgraph,
+    extract_enclosing_subgraph,
+)
 from repro.subgraph.labeling import encode_labels, label_feature_dim
 
 
@@ -151,6 +154,16 @@ class GraIL(SubgraphScoringModel):
     # ------------------------------------------------------------------
     def prepare(self, graph: KnowledgeGraph, triple: Triple) -> GraILSample:
         subgraph = extract_enclosing_subgraph(graph, triple, self.num_hops)
+        return self._sample_from_subgraph(subgraph)
+
+    def prepare_many(self, graph: KnowledgeGraph, triples) -> List[GraILSample]:
+        """Batched prepare via the vectorized extraction engine."""
+        return self._prepare_from_enclosing(
+            graph, triples, self.num_hops,
+            lambda _triple, subgraph: self._sample_from_subgraph(subgraph),
+        )
+
+    def _sample_from_subgraph(self, subgraph: ExtractedSubgraph) -> GraILSample:
         features, index = encode_labels(subgraph)
         heads: List[int] = []
         relations: List[int] = []

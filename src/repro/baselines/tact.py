@@ -27,7 +27,10 @@ from repro.core.base import SubgraphScoringModel
 from repro.core.embeddings import RandomInitEmbedding, SchemaInitEmbedding
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
-from repro.subgraph.extraction import extract_enclosing_subgraph
+from repro.subgraph.extraction import (
+    ExtractedSubgraph,
+    extract_enclosing_subgraph,
+)
 from repro.subgraph.linegraph import NUM_EDGE_TYPES, build_relational_graph
 
 
@@ -68,6 +71,11 @@ class RelationalCorrelationModule(SubgraphScoringModel):
     # ------------------------------------------------------------------
     def _neighborhood(self, graph: KnowledgeGraph, triple: Triple) -> TACTSample:
         subgraph = extract_enclosing_subgraph(graph, triple, self.num_hops)
+        return self._neighborhood_from_subgraph(triple, subgraph)
+
+    def _neighborhood_from_subgraph(
+        self, triple: Triple, subgraph: ExtractedSubgraph
+    ) -> TACTSample:
         relational = build_relational_graph(subgraph)
         incoming = relational.incoming(relational.target_node)
         neighbor_relations = relational.node_relations[incoming[:, 0]]
@@ -113,6 +121,12 @@ class TACTBase(RelationalCorrelationModule):
     def prepare(self, graph: KnowledgeGraph, triple: Triple) -> TACTSample:
         return self._neighborhood(graph, triple)
 
+    def prepare_many(self, graph: KnowledgeGraph, triples) -> list:
+        """Batched prepare via the vectorized extraction engine."""
+        return self._prepare_from_enclosing(
+            graph, triples, self.num_hops, self._neighborhood_from_subgraph
+        )
+
     def score_sample(self, sample: TACTSample) -> Tensor:
         return self.output(self.correlation_representation(sample))
 
@@ -145,14 +159,23 @@ class TACT(RelationalCorrelationModule):
         self.output = Linear(4 * embed_dim, 1, rng, bias=False)
 
     def prepare(self, graph: KnowledgeGraph, triple: Triple) -> TACTSample:
-        sample = self._neighborhood(graph, triple)
-        grail_sample = self.entity_module.prepare(graph, triple)
-        return TACTSample(
-            triple=sample.triple,
-            neighbor_relations=sample.neighbor_relations,
-            neighbor_types=sample.neighbor_types,
-            grail=grail_sample,
-        )
+        return self.prepare_many(graph, [triple])[0]
+
+    def prepare_many(self, graph: KnowledgeGraph, triples) -> list:
+        """Batched prepare: one extraction per triple feeds BOTH the
+        correlation module and the GraIL-style entity module (they use the
+        same enclosing subgraph and hop count)."""
+
+        def build(triple, subgraph):
+            sample = self._neighborhood_from_subgraph(triple, subgraph)
+            return TACTSample(
+                triple=sample.triple,
+                neighbor_relations=sample.neighbor_relations,
+                neighbor_types=sample.neighbor_types,
+                grail=self.entity_module._sample_from_subgraph(subgraph),
+            )
+
+        return self._prepare_from_enclosing(graph, triples, self.num_hops, build)
 
     def score_sample(self, sample: TACTSample) -> Tensor:
         correlation = self.correlation_representation(sample)

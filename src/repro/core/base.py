@@ -38,6 +38,34 @@ class SubgraphScoringModel(Module):
         """Build the model-specific sample for ``triple`` in ``graph``."""
         raise NotImplementedError
 
+    def prepare_many(
+        self, graph: KnowledgeGraph, triples: Sequence[Triple]
+    ) -> List[Any]:
+        """Batched :meth:`prepare`, order-aligned with ``triples``.
+
+        The default delegates to per-triple :meth:`prepare`; models whose
+        sample construction starts with subgraph extraction override this to
+        route the whole batch through
+        :func:`repro.subgraph.extraction.extract_subgraphs_many`, which
+        shares K-hop frontiers across candidates of one ranking query.
+        """
+        return [self.prepare(graph, triple) for triple in triples]
+
+    def _prepare_from_enclosing(
+        self,
+        graph: KnowledgeGraph,
+        triples: Sequence[Triple],
+        num_hops: int,
+        build,
+    ) -> List[Any]:
+        """Shared ``prepare_many`` template for enclosing-subgraph models:
+        batch-extract, then call ``build(triple, subgraph)`` per item."""
+        from repro.subgraph.extraction import extract_subgraphs_many
+
+        triples = list(triples)
+        subgraphs = extract_subgraphs_many(graph, triples, num_hops)
+        return [build(triple, subgraph) for triple, subgraph in zip(triples, subgraphs)]
+
     def score_sample(self, sample: Any) -> Tensor:
         """Differentiable score of one prepared sample, shape ``(1, 1)``."""
         raise NotImplementedError
@@ -45,14 +73,26 @@ class SubgraphScoringModel(Module):
     # ------------------------------------------------------------------
     def prepared(self, graph: KnowledgeGraph, triple: Triple) -> Any:
         """Memoised :meth:`prepare` (keyed on graph identity + triple)."""
-        key = (id(graph), tuple(int(x) for x in triple))
-        sample = self._sample_cache.get(key)
-        if sample is None:
-            sample = self.prepare(graph, triple)
-            self._sample_cache[key] = sample
+        return self.prepared_many(graph, [triple])[0]
+
+    def prepared_many(
+        self, graph: KnowledgeGraph, triples: Sequence[Triple]
+    ) -> List[Any]:
+        """Memoised batch prepare: only cache misses hit :meth:`prepare_many`."""
+        triples = list(triples)
+        keys = [(id(graph), tuple(int(x) for x in triple)) for triple in triples]
+        missing: Dict[Tuple[int, Triple], Triple] = {
+            key: key[1]
+            for key in keys
+            if key not in self._sample_cache
+        }
+        if missing:
+            samples = self.prepare_many(graph, list(missing.values()))
+            for key, sample in zip(missing, samples):
+                self._sample_cache[key] = sample
             # Keep the graph alive so id() keys stay unambiguous.
             self._cached_graphs[id(graph)] = graph
-        return sample
+        return [self._sample_cache[key] for key in keys]
 
     def clear_cache(self) -> None:
         self._sample_cache.clear()
@@ -65,20 +105,25 @@ class SubgraphScoringModel(Module):
     def score_batch(self, graph: KnowledgeGraph, triples: Sequence[Triple]) -> Tensor:
         """Differentiable scores for a batch, shape ``(n, 1)``."""
         scores: List[Tensor] = [
-            self.score_sample(self.prepared(graph, triple)) for triple in triples
+            self.score_sample(sample) for sample in self.prepared_many(graph, triples)
         ]
         if len(scores) == 1:
             return scores[0]
         return ops.concat(scores, axis=0)
 
     def score_triples(self, graph: KnowledgeGraph, triples: Sequence[Triple]) -> np.ndarray:
-        """Numpy scores in eval mode (no dropout, no graph recording)."""
+        """Numpy scores in eval mode (no dropout, no graph recording).
+
+        This is the evaluation protocols' entry point: the whole candidate
+        list of a ranking query arrives in one call, so extraction-backed
+        models batch it through :meth:`prepared_many`.
+        """
         was_training = self.training
         self.eval()
         try:
             values = [
-                float(self.score_sample(self.prepared(graph, triple)).data.reshape(-1)[0])
-                for triple in triples
+                float(self.score_sample(sample).data.reshape(-1)[0])
+                for sample in self.prepared_many(graph, triples)
             ]
         finally:
             if was_training:

@@ -36,8 +36,8 @@ from repro.core.scoring import ScoringHead
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
 from repro.subgraph.extraction import (
-    extract_disclosing_subgraph,
-    extract_enclosing_subgraph,
+    ExtractedSubgraph,
+    extract_subgraphs_many,
 )
 from repro.subgraph.labeling import encode_labels, label_feature_dim
 from repro.subgraph.linegraph import build_relational_graph, target_one_hop_relations
@@ -108,12 +108,41 @@ class RMPI(SubgraphScoringModel):
 
     # ------------------------------------------------------------------
     def prepare(self, graph: KnowledgeGraph, triple: Triple) -> RMPISample:
-        enclosing = extract_enclosing_subgraph(graph, triple, self.config.num_hops)
+        return self.prepare_many(graph, [triple])[0]
+
+    def prepare_many(self, graph: KnowledgeGraph, triples) -> list:
+        """Batched sample construction over the vectorized extraction engine.
+
+        Enclosing (and, for the NE variant, disclosing) subgraphs for the
+        whole batch come from :func:`extract_subgraphs_many`, so the 50
+        candidates of one ranking query share their K-hop frontier BFS.
+        """
+        triples = [tuple(int(x) for x in triple) for triple in triples]
+        enclosings = extract_subgraphs_many(
+            graph, triples, self.config.num_hops, kind="enclosing"
+        )
+        disclosings = (
+            extract_subgraphs_many(
+                graph, triples, self.config.num_hops, kind="disclosing"
+            )
+            if self.config.use_disclosing
+            else [None] * len(triples)
+        )
+        return [
+            self._build_sample(triple, enclosing, disclosing)
+            for triple, enclosing, disclosing in zip(triples, enclosings, disclosings)
+        ]
+
+    def _build_sample(
+        self,
+        triple: Triple,
+        enclosing: ExtractedSubgraph,
+        disclosing: Optional[ExtractedSubgraph],
+    ) -> RMPISample:
         relational = build_relational_graph(enclosing)
         plan = build_message_plan(relational, self.config.num_layers)
         disclosing_relations: Optional[np.ndarray] = None
-        if self.config.use_disclosing:
-            disclosing = extract_disclosing_subgraph(graph, triple, self.config.num_hops)
+        if disclosing is not None:
             disclosing_relations = np.asarray(
                 target_one_hop_relations(disclosing), dtype=np.int64
             )
@@ -125,7 +154,7 @@ class RMPI(SubgraphScoringModel):
             label_features, _index = encode_labels(enclosing)
             entity_clue = label_features.mean(axis=0, keepdims=True)
         return RMPISample(
-            triple=tuple(int(x) for x in triple),
+            triple=triple,
             plan=plan,
             disclosing_relations=disclosing_relations,
             enclosing_empty=enclosing.is_empty,
@@ -229,9 +258,8 @@ class RMPI(SubgraphScoringModel):
         return self.head(enclosing, disclosing, entity_clue)
 
     def score_batch_fused(self, graph: KnowledgeGraph, triples) -> Tensor:
-        """Prepare (memoised) and score a batch in one fused pass."""
-        samples = [self.prepared(graph, triple) for triple in triples]
-        return self.score_samples_batched(samples)
+        """Prepare (memoised, batch-extracted) and score in one fused pass."""
+        return self.score_samples_batched(self.prepared_many(graph, list(triples)))
 
     # ------------------------------------------------------------------
     @property

@@ -8,6 +8,12 @@
 
 Both protocols restrict corruption entities to the *testing graph's* entity
 set and filter corruptions that collide with known facts.
+
+The ranking loop hands each query's full candidate list (truth + negatives)
+to ``score_triples`` in one call; subgraph-scoring models batch it through
+``prepare_many``, so the vectorized extraction engine shares each query's
+K-hop frontier BFS across all ~50 candidates (they differ only in the
+corrupted side).
 """
 
 from __future__ import annotations

@@ -18,7 +18,7 @@ from repro.kg.benchmarks import (
 )
 from repro.kg.dataset_io import load_benchmark, save_benchmark
 from repro.kg.generator import GraphInstance, generate_instance, split_triples
-from repro.kg.graph import KnowledgeGraph
+from repro.kg.graph import KnowledgeGraph, NeighborhoodCache
 from repro.kg.io import load_triples_tsv, save_triples_tsv
 from repro.kg.ontology import (
     CompositionRule,
@@ -36,6 +36,7 @@ __all__ = [
     "TripleSet",
     "Vocabulary",
     "KnowledgeGraph",
+    "NeighborhoodCache",
     "load_triples_tsv",
     "save_triples_tsv",
     "corrupt_triple",

@@ -83,6 +83,13 @@ def ranking_candidates(
 
     The ground truth is always at index 0; callers should shuffle or use
     rank-of-index-0 conventions explicitly.
+
+    The ground truth can never reappear as a "negative": sampling the true
+    head/tail entity reproduces ``triple`` itself, and ``seen`` starts out
+    containing the truth, so that draw is rejected — otherwise the
+    duplicate would tie with index 0 and make ``rank_of_first`` ambiguous.
+    Candidates are pairwise distinct for the same reason.  (This has always
+    held; it is pinned by regression tests rather than changed here.)
     """
     head, rel, tail = triple
     known = known or set()

@@ -8,7 +8,7 @@ extraction, and the evaluation protocols.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Set, Tuple
+from typing import Iterable, Iterator, Optional, Set, Tuple
 
 import numpy as np
 
@@ -27,7 +27,10 @@ class TripleSet:
             self._array = np.asarray(rows, dtype=np.int64)
         else:
             self._array = np.empty((0, 3), dtype=np.int64)
-        self._set: Set[Triple] = {tuple(row) for row in rows}
+        # Built lazily (first membership/equality test): the vectorized
+        # extraction engine creates many TripleSets that are only ever read
+        # as arrays, and the per-row python set is the dominant cost there.
+        self._set_cache: Optional[Set[Triple]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -35,7 +38,25 @@ class TripleSet:
         array = np.asarray(array, dtype=np.int64)
         if array.ndim != 2 or array.shape[1] != 3:
             raise ValueError(f"expected (n, 3) array, got shape {array.shape}")
-        return cls(map(tuple, array))
+        return cls.from_trusted_array(np.array(array, dtype=np.int64))
+
+    @classmethod
+    def from_trusted_array(cls, array: np.ndarray) -> "TripleSet":
+        """Fast constructor: adopt an ``(n, 3)`` int64 array without the
+        per-row python conversion.  The caller must not mutate ``array``
+        afterwards (same copy-on-write discipline as :attr:`array`)."""
+        self = cls.__new__(cls)
+        self._array = array
+        self._set_cache = None
+        return self
+
+    @property
+    def _set(self) -> Set[Triple]:
+        if self._set_cache is None:
+            self._set_cache = {
+                (row[0], row[1], row[2]) for row in self._array.tolist()
+            }
+        return self._set_cache
 
     # ------------------------------------------------------------------
     @property

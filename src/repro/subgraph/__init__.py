@@ -10,6 +10,9 @@ from repro.subgraph.extraction import (
     ExtractedSubgraph,
     extract_disclosing_subgraph,
     extract_enclosing_subgraph,
+    extract_subgraphs_many,
+    legacy_extract_disclosing_subgraph,
+    legacy_extract_enclosing_subgraph,
 )
 from repro.subgraph.labeling import encode_labels, label_feature_dim, node_labels
 from repro.subgraph.linegraph import (
@@ -32,6 +35,9 @@ __all__ = [
     "ExtractedSubgraph",
     "extract_enclosing_subgraph",
     "extract_disclosing_subgraph",
+    "extract_subgraphs_many",
+    "legacy_extract_enclosing_subgraph",
+    "legacy_extract_disclosing_subgraph",
     "node_labels",
     "encode_labels",
     "label_feature_dim",

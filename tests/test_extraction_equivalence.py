@@ -1,0 +1,200 @@
+"""CSR-path vs legacy-path extraction equivalence (the engine's contract).
+
+The vectorized engine behind ``extract_enclosing_subgraph`` /
+``extract_disclosing_subgraph`` / ``extract_subgraphs_many`` must produce
+*identical* ``ExtractedSubgraph`` values to the pure-Python reference path —
+same entity tuple, same edge list (content AND order), same internal
+distance maps — on arbitrary graphs, including self-loops, parallel
+relations, empty enclosing subgraphs, and K=1.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg import KnowledgeGraph, NeighborhoodCache, TripleSet
+from repro.subgraph import (
+    extract_disclosing_subgraph,
+    extract_enclosing_subgraph,
+    extract_subgraphs_many,
+    legacy_extract_disclosing_subgraph,
+    legacy_extract_enclosing_subgraph,
+)
+
+PAIRS = (
+    (extract_enclosing_subgraph, legacy_extract_enclosing_subgraph),
+    (extract_disclosing_subgraph, legacy_extract_disclosing_subgraph),
+)
+
+
+def random_graph(seed: int, allow_self_loops: bool = True) -> KnowledgeGraph:
+    rng = np.random.default_rng(seed)
+    num_entities = int(rng.integers(3, 16))
+    num_relations = int(rng.integers(2, 6))
+    triples = sorted(
+        {
+            (
+                int(rng.integers(num_entities)),
+                int(rng.integers(num_relations)),
+                int(rng.integers(num_entities)),
+            )
+            for _ in range(int(rng.integers(2, 40)))
+        }
+    )
+    if not allow_self_loops:
+        triples = [(h, r, t) for h, r, t in triples if h != t]
+    return KnowledgeGraph.from_triples(
+        TripleSet(triples), num_entities=num_entities, num_relations=num_relations
+    )
+
+
+def assert_identical(a, b):
+    assert (a.head, a.relation, a.tail, a.num_hops) == (b.head, b.relation, b.tail, b.num_hops)
+    assert a.entities == b.entities
+    assert list(a.triples) == list(b.triples)  # content and order
+    assert a.distances_u == b.distances_u
+    assert a.distances_v == b.distances_v
+    assert a.is_empty == b.is_empty
+
+
+class TestEquivalenceProperty:
+    @given(seed=st.integers(0, 500), hops=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_randomized_graphs(self, seed, hops):
+        graph = random_graph(seed)
+        if len(graph.triples) == 0:
+            return
+        rng = np.random.default_rng(seed + 1)
+        targets = [
+            graph.triples[seed % len(graph.triples)],  # a fact
+            (  # an arbitrary (possibly non-fact) pair
+                int(rng.integers(graph.num_entities)),
+                int(rng.integers(graph.num_relations)),
+                int(rng.integers(graph.num_entities)),
+            ),
+        ]
+        for target in targets:
+            for new_fn, legacy_fn in PAIRS:
+                assert_identical(new_fn(graph, target, hops), legacy_fn(graph, target, hops))
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_batched_matches_per_triple(self, seed):
+        graph = random_graph(seed)
+        if len(graph.triples) == 0:
+            return
+        targets = [graph.triples[i % len(graph.triples)] for i in range(6)]
+        for kind, legacy_fn in (
+            ("enclosing", legacy_extract_enclosing_subgraph),
+            ("disclosing", legacy_extract_disclosing_subgraph),
+        ):
+            batch = extract_subgraphs_many(graph, targets, 2, kind=kind)
+            for target, sub in zip(targets, batch):
+                assert_identical(sub, legacy_fn(graph, target, 2))
+
+
+class TestEquivalenceEdgeCases:
+    def test_self_loop_target(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 0), (0, 1, 1), (1, 0, 0)])
+        for new_fn, legacy_fn in PAIRS:
+            assert_identical(new_fn(g, (0, 0, 0), 2), legacy_fn(g, (0, 0, 0), 2))
+
+    def test_self_loop_in_context(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 1, 1), (1, 0, 2), (0, 2, 2)])
+        for new_fn, legacy_fn in PAIRS:
+            assert_identical(new_fn(g, (0, 2, 2), 2), legacy_fn(g, (0, 2, 2), 2))
+
+    def test_empty_enclosing_subgraph(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (2, 0, 3)])
+        for new_fn, legacy_fn in PAIRS:
+            assert_identical(new_fn(g, (0, 0, 3), 2), legacy_fn(g, (0, 0, 3), 2))
+        assert extract_enclosing_subgraph(g, (0, 0, 3), 2).is_empty
+
+    def test_single_edge_graph_target_removed(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1)])
+        for new_fn, legacy_fn in PAIRS:
+            assert_identical(new_fn(g, (0, 0, 1), 2), legacy_fn(g, (0, 0, 1), 2))
+
+    def test_k_equals_one(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 0, 2), (0, 0, 3), (3, 1, 2)])
+        for target in [(0, 0, 1), (0, 1, 2), (2, 0, 0)]:
+            for new_fn, legacy_fn in PAIRS:
+                assert_identical(new_fn(g, target, 1), legacy_fn(g, target, 1))
+
+    def test_non_fact_target(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 1, 2), (2, 0, 3)])
+        for new_fn, legacy_fn in PAIRS:
+            assert_identical(new_fn(g, (0, 3, 3), 2), legacy_fn(g, (0, 3, 3), 2))
+
+
+class TestDisclosingIsolationPrune:
+    """Satellite bugfix: disclosing entity sets never contain isolated
+    non-target nodes, and distance maps stay consistent with the kept set."""
+
+    @given(seed=st.integers(0, 300), hops=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_every_entity_touches_an_edge_or_is_target(self, seed, hops):
+        graph = random_graph(seed)
+        if len(graph.triples) == 0:
+            return
+        target = graph.triples[seed % len(graph.triples)]
+        sub = extract_disclosing_subgraph(graph, target, hops)
+        touched = set()
+        for h, _r, t in sub.triples:
+            touched.add(h)
+            touched.add(t)
+        for entity in sub.entities:
+            assert entity in touched or entity in (sub.head, sub.tail)
+        assert set(sub.distances_u) <= set(sub.entities)
+        assert set(sub.distances_v) <= set(sub.entities)
+
+    def test_targets_survive_total_isolation(self):
+        # The only edge is the target itself: everything is pruned except
+        # the target pair.
+        g = KnowledgeGraph.from_triples([(0, 0, 1)])
+        sub = extract_disclosing_subgraph(g, (0, 0, 1), 2)
+        assert sub.entities == (0, 1)
+        assert sub.is_empty
+        assert sub.distances_u == {0: 0}
+        assert sub.distances_v == {1: 0}
+
+
+class TestNeighborhoodCache:
+    def test_frontiers_are_cached_and_shared(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 0, 2), (2, 1, 3)])
+        candidates = [(0, 0, t) for t in (1, 2, 3)]  # all share head 0
+        extract_subgraphs_many(g, candidates, 2)
+        # Head frontier computed once, hit twice afterwards.
+        assert g.neighborhood_cache.hits >= 2
+        first = g.khop_nodes(0, 2)
+        hits_before = g.neighborhood_cache.hits
+        second = g.khop_nodes(0, 2)
+        assert second is first  # same cached array
+        assert g.neighborhood_cache.hits == hits_before + 1
+        assert not second.flags.writeable
+
+    def test_lru_bound_respected(self):
+        cache = NeighborhoodCache(maxsize=2)
+        cache.put((0, 2), np.asarray([0]))
+        cache.put((1, 2), np.asarray([1]))
+        cache.put((2, 2), np.asarray([2]))
+        assert len(cache) == 2
+        assert cache.get((0, 2)) is None  # evicted (least recently used)
+        assert cache.get((2, 2)) is not None
+
+    def test_zero_size_disables_caching(self):
+        g = KnowledgeGraph(
+            TripleSet([(0, 0, 1)]), 2, 1, neighborhood_cache_size=0
+        )
+        g.khop_nodes(0, 2)
+        g.khop_nodes(0, 2)
+        assert len(g.neighborhood_cache) == 0
+        assert g.neighborhood_cache.hits == 0
+
+    def test_cached_results_equal_fresh_results(self):
+        g = KnowledgeGraph.from_triples([(0, 0, 1), (1, 0, 2), (2, 1, 3), (3, 2, 0)])
+        target = (0, 0, 2)
+        first = extract_enclosing_subgraph(g, target, 2)
+        second = extract_enclosing_subgraph(g, target, 2)  # served from cache
+        assert_identical(first, second)

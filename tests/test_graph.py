@@ -75,6 +75,37 @@ class TestKHop:
         assert 0 in chain_graph.khop_neighbors(0, 1)
 
 
+class TestEntityIdValidation:
+    """incident_edges and induced_edge_indices reject out-of-range ids
+    consistently (negative ids used to crash obscurely / oversized ids were
+    silently skipped)."""
+
+    def test_incident_edges_negative_id(self, chain_graph):
+        with pytest.raises(ValueError, match="out of range"):
+            chain_graph.incident_edges(-1)
+
+    def test_incident_edges_oversized_id(self, chain_graph):
+        with pytest.raises(ValueError, match="out of range"):
+            chain_graph.incident_edges(5)
+
+    def test_induced_negative_id(self, chain_graph):
+        with pytest.raises(ValueError, match="out of range"):
+            chain_graph.induced_edge_indices({0, -3})
+
+    def test_induced_oversized_id(self, chain_graph):
+        with pytest.raises(ValueError, match="out of range"):
+            chain_graph.induced_edge_indices({0, 1, 99})
+
+    def test_degree_and_khop_validate_too(self, chain_graph):
+        with pytest.raises(ValueError, match="out of range"):
+            chain_graph.degree(-2)
+        with pytest.raises(ValueError, match="out of range"):
+            chain_graph.khop_distances(17, 2)
+
+    def test_empty_entity_set_is_fine(self, chain_graph):
+        assert chain_graph.induced_edge_indices(set()) == []
+
+
 class TestInducedSubgraph:
     def test_only_internal_edges(self, chain_graph):
         triples = chain_graph.induced_subgraph_triples({0, 1, 2})

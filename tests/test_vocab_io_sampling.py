@@ -163,3 +163,30 @@ class TestRankingCandidates:
             (0, 0, 1), 3, rng, num_negatives=49, candidate_entities=[0, 1, 2]
         )
         assert len(candidates) <= 4
+
+    def test_truth_never_resampled_as_tail_negative(self):
+        # Pool contains ONLY the true tail: every corruption reproduces the
+        # truth and must be rejected, else rank_of_first would see a tie.
+        rng = np.random.default_rng(0)
+        candidates = ranking_candidates(
+            (0, 0, 1), 2, rng, num_negatives=10, candidate_entities=[1]
+        )
+        assert candidates == [(0, 0, 1)]
+
+    def test_truth_never_resampled_as_head_negative(self):
+        rng = np.random.default_rng(0)
+        candidates = ranking_candidates(
+            (0, 0, 1), 2, rng, num_negatives=10, corrupt_head=True, candidate_entities=[0]
+        )
+        assert candidates == [(0, 0, 1)]
+
+    def test_truth_appears_exactly_once(self):
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            corrupt_head = bool(seed % 2)
+            candidates = ranking_candidates(
+                (3, 1, 4), 8, rng, num_negatives=49, corrupt_head=corrupt_head
+            )
+            assert candidates.count((3, 1, 4)) == 1
+            assert candidates[0] == (3, 1, 4)
+            assert len(candidates) == len(set(candidates))
