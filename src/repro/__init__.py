@@ -20,6 +20,9 @@ Subpackages
 ``repro.train`` / ``repro.eval`` / ``repro.experiments``
     Trainer, evaluation protocols (AUC-PR / MRR / Hits@n), experiment
     runner and table formatting.
+``repro.serve``
+    Online inference: model registry, pinned inference sessions with a
+    score cache, micro-batching scheduler, JSON-over-HTTP service.
 """
 
 __version__ = "1.0.0"

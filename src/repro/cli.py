@@ -6,6 +6,7 @@ Commands
 ``run``     — train one model on one benchmark and print metrics.
 ``full``    — fully inductive run (semi/fully unseen relations).
 ``models``  — list available model names.
+``serve``   — boot the online link-prediction service (JSON over HTTP).
 
 Examples::
 
@@ -13,6 +14,8 @@ Examples::
     python -m repro.cli run --family WN18RR --version 1 --model RMPI-NE --epochs 8
     python -m repro.cli full --family NELL-995 --train-version 1 \
         --test-version 3 --model RMPI-NE --setting fully --schema
+    python -m repro.cli serve --family NELL-995 --version 1 --model RMPI-base \
+        --epochs 2 --port 8080
 """
 
 from __future__ import annotations
@@ -68,6 +71,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_training(full)
 
     sub.add_parser("models", help="list model names")
+
+    serve = sub.add_parser("serve", help="boot the online inference service")
+    _add_common(serve)
+    serve.add_argument("--version", type=int, default=1, choices=[1, 2, 3, 4])
+    serve.add_argument("--model", default="RMPI-base", choices=list(MODEL_NAMES))
+    serve.add_argument(
+        "--epochs", type=int, default=0,
+        help="train this many epochs before serving (0 = untrained weights)",
+    )
+    serve.add_argument("--max-triples", type=int, default=200)
+    serve.add_argument(
+        "--checkpoint", default=None,
+        help="load weights from a checkpoint instead of training",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 = ephemeral port")
+    serve.add_argument("--max-batch-size", type=int, default=64)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--cache-size", type=int, default=65536)
+    serve.add_argument(
+        "--no-fused", action="store_true",
+        help="score through the per-sample path instead of the fused batch forward",
+    )
+    serve.add_argument(
+        "--dry-run", action="store_true",
+        help="build the app, print its configuration, and exit without serving",
+    )
     return parser
 
 
@@ -125,6 +155,74 @@ def cmd_models(_args: argparse.Namespace) -> str:
     return "\n".join(MODEL_NAMES)
 
 
+def cmd_serve(args: argparse.Namespace) -> str:
+    from repro.experiments import make_model
+    from repro.serve import ModelRegistry, ServingApp, ServingConfig, ServingServer
+    from repro.train import load_checkpoint, train_model
+
+    benchmark = build_partial_benchmark(args.family, args.version, args.scale, args.seed)
+    model = make_model(args.model, benchmark.num_relations, seed=args.seed)
+    weights = "untrained"
+    if args.checkpoint:
+        load_checkpoint(model, args.checkpoint)
+        weights = f"checkpoint {args.checkpoint}"
+    elif args.epochs > 0:
+        train_model(
+            model,
+            benchmark.train_graph,
+            benchmark.train_triples,
+            benchmark.valid_triples,
+            TrainingConfig(
+                epochs=args.epochs, seed=args.seed,
+                max_triples_per_epoch=args.max_triples,
+            ),
+        )
+        weights = f"trained {args.epochs} epochs"
+
+    registry = ModelRegistry()
+    registry.register(
+        args.model, model, meta={"benchmark": benchmark.name, "weights": weights}
+    )
+    config = ServingConfig(
+        host=args.host,
+        port=args.port,
+        default_model=args.model,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+        use_fused=not args.no_fused,
+    )
+    # Serve the inductive benchmark's *testing* graph: queries rank links
+    # among entities unseen during training, the paper's core setting.
+    app = ServingApp(registry, benchmark.test_graph, config)
+
+    summary = app.describe()
+    lines = [
+        f"serving {args.model} ({weights}) on {benchmark.name} test graph",
+        f"  graph: {summary['graph']['entities']} entities / "
+        f"{summary['graph']['relations']} relations / "
+        f"{summary['graph']['triples']} triples "
+        f"[{summary['graph']['fingerprint'][:12]}]",
+        f"  micro-batching: max_batch_size={config.max_batch_size} "
+        f"max_wait_ms={config.max_wait_ms}",
+        f"  score cache: {config.cache_size} entries, "
+        f"fused scoring: {config.use_fused}",
+    ]
+    if args.dry_run:
+        app.close()
+        lines.append("dry run: configuration OK, not serving")
+        return "\n".join(lines)
+
+    server = ServingServer(app)
+    lines.append(f"listening on {server.url} (Ctrl-C to stop)")
+    print("\n".join(lines))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return "serving stopped"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -132,6 +230,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "full": cmd_full,
         "models": cmd_models,
+        "serve": cmd_serve,
     }
     print(handlers[args.command](args))
     return 0

@@ -16,6 +16,7 @@ them a common API:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -25,6 +26,32 @@ from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
 
 
+@dataclass
+class ScoringStats:
+    """Instrumentation for the numpy scoring entry points.
+
+    Counts how work arrives at a model: ``batch_calls`` is the number of
+    batched scoring invocations, ``triples_scored`` the total triples across
+    them, ``largest_batch`` the biggest single call.  The serving layer's
+    micro-batching scheduler is validated against these counters (N
+    coalesced requests must show up as *one* ``batch_calls`` increment).
+    """
+
+    batch_calls: int = 0
+    triples_scored: int = 0
+    largest_batch: int = 0
+
+    def record(self, batch_size: int) -> None:
+        self.batch_calls += 1
+        self.triples_scored += batch_size
+        self.largest_batch = max(self.largest_batch, batch_size)
+
+    def reset(self) -> None:
+        self.batch_calls = 0
+        self.triples_scored = 0
+        self.largest_batch = 0
+
+
 class SubgraphScoringModel(Module):
     """Base class: memoised prepare + batch scoring over subgraph samples."""
 
@@ -32,6 +59,7 @@ class SubgraphScoringModel(Module):
         super().__init__()
         self._sample_cache: Dict[Tuple[int, Triple], Any] = {}
         self._cached_graphs: Dict[int, KnowledgeGraph] = {}
+        self.scoring_stats = ScoringStats()
 
     # ------------------------------------------------------------------
     def prepare(self, graph: KnowledgeGraph, triple: Triple) -> Any:
@@ -118,6 +146,8 @@ class SubgraphScoringModel(Module):
         list of a ranking query arrives in one call, so extraction-backed
         models batch it through :meth:`prepared_many`.
         """
+        triples = list(triples)
+        self.scoring_stats.record(len(triples))
         was_training = self.training
         self.eval()
         try:

@@ -261,6 +261,26 @@ class RMPI(SubgraphScoringModel):
         """Prepare (memoised, batch-extracted) and score in one fused pass."""
         return self.score_samples_batched(self.prepared_many(graph, list(triples)))
 
+    def score_triples_fused(self, graph: KnowledgeGraph, triples) -> np.ndarray:
+        """Numpy scores via the fused disjoint-union forward (eval mode).
+
+        The serving fast path: equivalent to :meth:`score_triples` (within
+        float round-off, see ``tests/test_batching.py``) but runs the whole
+        batch through one merged message-passing pass instead of one tiny
+        forward per sample, amortising numpy dispatch overhead — which is
+        what makes coalescing concurrent queries into micro-batches pay off.
+        """
+        triples = list(triples)
+        self.scoring_stats.record(len(triples))
+        was_training = self.training
+        self.eval()
+        try:
+            scores = self.score_batch_fused(graph, triples)
+        finally:
+            if was_training:
+                self.train()
+        return np.asarray(scores.data, dtype=np.float64).reshape(-1)
+
     # ------------------------------------------------------------------
     @property
     def name(self) -> str:

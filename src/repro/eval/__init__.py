@@ -5,9 +5,12 @@ from repro.eval.protocol import (
     ClassificationResult,
     EvaluationReport,
     RankingResult,
+    candidate_entity_pool,
     evaluate_both,
     evaluate_entity_prediction,
     evaluate_triple_classification,
+    known_fact_set,
+    link_prediction_candidates,
 )
 from repro.eval.splits import (
     categorize_ext_targets,
@@ -27,6 +30,9 @@ __all__ = [
     "evaluate_triple_classification",
     "evaluate_entity_prediction",
     "evaluate_both",
+    "candidate_entity_pool",
+    "known_fact_set",
+    "link_prediction_candidates",
     "unseen_relation_triples",
     "seen_relation_triples",
     "categorize_ext_triple",

@@ -19,7 +19,7 @@ corrupted side).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Set
 
 import numpy as np
 
@@ -57,13 +57,79 @@ class RankingResult:
         return {"MRR": self.mrr, "Hits@10": self.hits_at_10, "Hits@1": self.hits_at_1}
 
 
-def _candidate_entities(graph: KnowledgeGraph, targets: TripleSet) -> List[int]:
-    entities = graph.triples.entities() | targets.entities()
+def candidate_entity_pool(
+    graph: KnowledgeGraph, targets: Optional[TripleSet] = None
+) -> List[int]:
+    """The sorted entity pool both protocols corrupt over: every entity of
+    the context graph plus (when evaluating) the target triples' entities.
+
+    Public because the serving layer's top-k queries must rank over exactly
+    this pool to stay consistent with :func:`evaluate_entity_prediction`.
+    """
+    entities = set(graph.triples.entities())
+    if targets is not None:
+        entities |= targets.entities()
     return sorted(entities)
 
 
-def _known_facts(graph: KnowledgeGraph, targets: TripleSet) -> set:
-    return set(graph.triples) | set(targets)
+def known_fact_set(
+    graph: KnowledgeGraph, targets: Optional[TripleSet] = None
+) -> Set[Triple]:
+    """All facts a corruption must not collide with (graph + targets)."""
+    known = set(graph.triples)
+    if targets is not None:
+        known |= set(targets)
+    return known
+
+
+# Internal aliases kept for the protocol implementations below.
+_candidate_entities = candidate_entity_pool
+_known_facts = known_fact_set
+
+
+def link_prediction_candidates(
+    graph: KnowledgeGraph,
+    head: Optional[int],
+    relation: int,
+    tail: Optional[int],
+    exclude_known: bool = True,
+    candidate_entities: Optional[Sequence[int]] = None,
+    known: Optional[Set[Triple]] = None,
+) -> List[Triple]:
+    """Candidate triples for an online top-k query (serving's ranking list).
+
+    Exactly one of ``head`` / ``tail`` must be ``None`` — that side is
+    filled with every entity from ``candidate_entities`` (default: the same
+    pool as :func:`candidate_entity_pool`), in deterministic sorted order.
+    This is the exhaustive counterpart of
+    :func:`repro.kg.sampling.ranking_candidates` with identical filtering
+    semantics: duplicates never appear, and with ``exclude_known`` (the
+    serving default) candidates that collide with known facts are dropped,
+    so a top-k answer only proposes *new* links.
+    """
+    if (head is None) == (tail is None):
+        raise ValueError("exactly one of head/tail must be None")
+    pool = (
+        candidate_entity_pool(graph) if candidate_entities is None else candidate_entities
+    )
+    known_facts = (known_fact_set(graph) if known is None else known) if exclude_known else set()
+    corrupt_head = head is None
+    relation = int(relation)
+    fixed = int(tail) if corrupt_head else int(head)
+    candidates: List[Triple] = []
+    seen: Set[Triple] = set()
+    # Single pass over the (possibly precomputed, serving hot-path) pool;
+    # int() per entry normalises numpy ids without an extra list copy.
+    for entity in pool:
+        entity = int(entity)
+        triple: Triple = (
+            (entity, relation, fixed) if corrupt_head else (fixed, relation, entity)
+        )
+        if triple in seen or triple in known_facts:
+            continue
+        seen.add(triple)
+        candidates.append(triple)
+    return candidates
 
 
 def evaluate_triple_classification(

@@ -27,6 +27,7 @@ per-entity neighborhoods over and over.  The cache size knob is the
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -157,6 +158,9 @@ class KnowledgeGraph:
         # Per-entity incident edge-id lists, materialized from the CSR on
         # first incident_edges() call so repeated lookups stay O(1).
         self._incident_lists: Optional[List[List[int]]] = None
+        # Content hash, computed on first fingerprint() call.  TripleSet is
+        # immutable, so the digest never goes stale for a given instance.
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -183,6 +187,36 @@ class KnowledgeGraph:
             f"KnowledgeGraph(entities={self.num_entities}, "
             f"relations={self.num_relations}, triples={len(self.triples)})"
         )
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable hash of the graph (id-space sizes + triple rows, in row
+        order).
+
+        Two graphs built from identical triple arrays share a fingerprint
+        across processes; any content change — and also a mere reordering
+        of the same rows — changes it.  The serving layer keys its score
+        caches on this, so swapping the served graph invalidates every
+        cached score automatically (row-order sensitivity only ever causes
+        a spurious invalidation, never a stale hit).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            digest.update(f"{self.num_entities}:{self.num_relations}:".encode())
+            array = np.ascontiguousarray(self.triples.array, dtype=np.int64)
+            digest.update(array.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def warm(self) -> "KnowledgeGraph":
+        """Eagerly build the lazy indices (CSR adjacency, fingerprint).
+
+        Serving sessions call this once at startup so the first query does
+        not pay the index-construction cost.
+        """
+        self._ensure_csr()
+        self.fingerprint()
+        return self
 
     # ------------------------------------------------------------------
     def _check_entity(self, entity: int) -> int:

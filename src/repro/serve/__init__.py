@@ -1,0 +1,35 @@
+"""`repro.serve` — online inference serving.
+
+The serving layer turns the offline reproduction into a queryable system
+(the ROADMAP's "serve heavy traffic" direction): a versioned
+:class:`ModelRegistry` hosting any :class:`~repro.eval.protocol.TripleScorer`,
+an :class:`InferenceSession` pinning one warmed
+:class:`~repro.kg.graph.KnowledgeGraph` with a bounded LRU score cache,
+a :class:`MicroBatchScheduler` coalescing concurrent queries into single
+batched (fused, for RMPI) scoring calls, and a stdlib JSON-over-HTTP
+frontend (:class:`ServingServer`) with a thin :class:`ServingClient`.
+Start one from the command line with ``python -m repro.cli serve``.
+"""
+
+from repro.serve.cache import DEFAULT_SCORE_CACHE_SIZE, ScoreCache
+from repro.serve.client import ServingClient, ServingError
+from repro.serve.registry import ModelRegistry, RegisteredModel
+from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
+from repro.serve.server import ServingApp, ServingConfig, ServingServer
+from repro.serve.session import InferenceSession, rank_predictions
+
+__all__ = [
+    "ScoreCache",
+    "DEFAULT_SCORE_CACHE_SIZE",
+    "ModelRegistry",
+    "RegisteredModel",
+    "InferenceSession",
+    "rank_predictions",
+    "MicroBatchScheduler",
+    "SchedulerStats",
+    "ServingApp",
+    "ServingConfig",
+    "ServingServer",
+    "ServingClient",
+    "ServingError",
+]

@@ -1,0 +1,74 @@
+"""Bounded LRU cache of per-triple scores for the serving layer.
+
+Entries are keyed ``(model_key, graph_fingerprint, triple)``: the graph's
+content hash (:meth:`repro.kg.graph.KnowledgeGraph.fingerprint`) is part of
+every key, so scores computed against one graph can never be served for
+another — swapping or mutating the served graph invalidates the cache
+without any explicit flush (stale entries simply stop being hit and age
+out of the LRU).  :meth:`invalidate_graph` evicts them eagerly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.kg.triples import Triple
+
+#: Default bound on cached scores (one float per entry; 64k entries is a
+#: few MB including key overhead).
+DEFAULT_SCORE_CACHE_SIZE = 65_536
+
+ScoreKey = Tuple[str, str, Triple]
+
+
+class ScoreCache:
+    """A bounded LRU mapping ``(model_key, graph_fingerprint, triple)`` to a
+    float score, with hit/miss counters for observability."""
+
+    def __init__(self, maxsize: int = DEFAULT_SCORE_CACHE_SIZE) -> None:
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[ScoreKey, float]" = OrderedDict()
+
+    def get(self, key: ScoreKey) -> Optional[float]:
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: ScoreKey, value: float) -> None:
+        if self.maxsize <= 0:
+            return
+        self._store.pop(key, None)
+        self._store[key] = float(value)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def invalidate_graph(self, fingerprint: str) -> int:
+        """Evict every entry computed against ``fingerprint``; returns the
+        number of entries dropped."""
+        stale = [key for key in self._store if key[1] == fingerprint]
+        for key in stale:
+            del self._store[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._store),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

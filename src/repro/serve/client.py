@@ -1,0 +1,120 @@
+"""Thin stdlib client for the serving HTTP API.
+
+``urllib.request`` only — usable from any Python without installing
+anything.  Typed helpers mirror the server's endpoints; :meth:`request`
+exposes the raw ``(status, body)`` pair for smoke checks.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.kg.triples import Triple
+
+
+class ServingError(RuntimeError):
+    """A non-2xx response from the serving API."""
+
+    def __init__(self, status: int, body: Dict[str, Any]) -> None:
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class ServingClient:
+    """Client for one serving endpoint, e.g. ``ServingClient("http://127.0.0.1:8080")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round-trip; returns ``(status, parsed_json)`` without raising
+        on HTTP errors (smoke checks assert on the raw status)."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method.upper()
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", errors="replace")
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                body = {"error": raw}
+            return error.code, body
+
+    def _call(self, method: str, path: str, payload: Optional[Dict[str, Any]] = None):
+        status, body = self.request(method, path, payload)
+        if status != 200:
+            raise ServingError(status, body)
+        return body
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._call("GET", "/health")
+
+    def models(self) -> List[Dict[str, Any]]:
+        return self._call("GET", "/models")["models"]
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("GET", "/stats")
+
+    def score(
+        self, triples: Sequence[Triple], model: Optional[str] = None
+    ) -> List[float]:
+        payload: Dict[str, Any] = {"triples": [list(t) for t in triples]}
+        if model:
+            payload["model"] = model
+        return self._call("POST", "/score", payload)["scores"]
+
+    def top_k_tails(
+        self,
+        head: int,
+        relation: int,
+        k: int = 10,
+        model: Optional[str] = None,
+        exclude_known: bool = True,
+    ) -> List[Dict[str, Any]]:
+        payload: Dict[str, Any] = {
+            "head": int(head),
+            "relation": int(relation),
+            "k": int(k),
+            "exclude_known": exclude_known,
+        }
+        if model:
+            payload["model"] = model
+        return self._call("POST", "/topk", payload)["predictions"]
+
+    def top_k_heads(
+        self,
+        tail: int,
+        relation: int,
+        k: int = 10,
+        model: Optional[str] = None,
+        exclude_known: bool = True,
+    ) -> List[Dict[str, Any]]:
+        payload: Dict[str, Any] = {
+            "tail": int(tail),
+            "relation": int(relation),
+            "k": int(k),
+            "exclude_known": exclude_known,
+        }
+        if model:
+            payload["model"] = model
+        return self._call("POST", "/topk", payload)["predictions"]

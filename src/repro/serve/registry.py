@@ -1,0 +1,153 @@
+"""Model registry: named, versioned scorers behind one lookup surface.
+
+A :class:`ModelRegistry` hosts several models (and several versions of the
+same model) at once, so a single serving process can answer mixed-model
+traffic — RMPI variants next to GraIL/TACT/CoMPILE baselines, or a canary
+version next to the stable one.  Models register either as live objects
+(:meth:`ModelRegistry.register`) or from checkpoints written by
+:func:`repro.train.checkpoint.save_checkpoint`
+(:meth:`ModelRegistry.register_checkpoint`), whose ``__meta__`` record is
+validated against the receiving architecture and kept as the entry's
+metadata.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.base import SubgraphScoringModel
+from repro.train.checkpoint import load_checkpoint
+
+
+@dataclass(frozen=True)
+class RegisteredModel:
+    """One registry entry: a scorer plus its identifying metadata."""
+
+    name: str
+    version: int
+    model: SubgraphScoringModel
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, also the score-cache namespace."""
+        return f"{self.name}@{self.version}"
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready summary for the ``/models`` endpoint."""
+        summary = {
+            "name": self.name,
+            "version": self.version,
+            "key": self.key,
+            "model_class": type(self.model).__name__,
+            "num_parameters": self.model.num_parameters(),
+        }
+        summary.update(self.meta)
+        return summary
+
+
+class ModelRegistry:
+    """Thread-safe mapping of ``name`` (and ``name@version``) to models."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[str, int], RegisteredModel] = {}
+        self._latest: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        model: SubgraphScoringModel,
+        version: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> RegisteredModel:
+        """Add a model under ``name``; the version auto-increments per name
+        unless given explicitly.  Re-registering an existing
+        ``(name, version)`` raises ``ValueError`` (publish a new version
+        instead of silently replacing a served one)."""
+        with self._lock:
+            if version is None:
+                version = self._latest.get(name, 0) + 1
+            version = int(version)
+            if (name, version) in self._entries:
+                raise ValueError(f"model {name!r} version {version} already registered")
+            entry = RegisteredModel(
+                name=name, version=version, model=model, meta=dict(meta or {})
+            )
+            self._entries[(name, version)] = entry
+            self._latest[name] = max(self._latest.get(name, 0), version)
+            return entry
+
+    def register_checkpoint(
+        self,
+        name: str,
+        model: SubgraphScoringModel,
+        path: str,
+        version: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> RegisteredModel:
+        """Load ``path`` into ``model`` (validating the checkpoint's
+        ``__meta__`` against it) and register the result; the checkpoint
+        metadata is merged into the entry's metadata."""
+        checkpoint_meta = load_checkpoint(model, path)
+        merged = dict(checkpoint_meta)
+        merged["checkpoint"] = path
+        merged.update(meta or {})
+        return self.register(name, model, version=version, meta=merged)
+
+    # ------------------------------------------------------------------
+    def get(self, name: str, version: Optional[int] = None) -> RegisteredModel:
+        """Fetch ``name`` at ``version`` (latest when omitted)."""
+        with self._lock:
+            if version is None:
+                if name not in self._latest:
+                    raise KeyError(
+                        f"no model named {name!r}; registered: {sorted(self._latest) or 'none'}"
+                    )
+                version = self._latest[name]
+            entry = self._entries.get((name, int(version)))
+            if entry is None:
+                raise KeyError(f"no model {name!r} at version {version}")
+            return entry
+
+    def resolve(self, spec: Optional[str]) -> RegisteredModel:
+        """Resolve a request's model spec: ``None`` / ``""`` (sole or
+        default model), ``"name"`` (latest version) or ``"name@version"``."""
+        if not spec:
+            with self._lock:
+                names = sorted(self._latest)
+            if len(names) != 1:
+                raise KeyError(
+                    f"model spec required when serving {len(names)} models: {names}"
+                )
+            return self.get(names[0])
+        name, _, version = spec.partition("@")
+        if version:
+            try:
+                return self.get(name, int(version))
+            except ValueError as error:
+                raise KeyError(f"bad model spec {spec!r}: {error}") from error
+        return self.get(name)
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._latest)
+
+    def entries(self) -> List[RegisteredModel]:
+        with self._lock:
+            return [self._entries[key] for key in sorted(self._entries)]
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [entry.describe() for entry in self.entries()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._latest

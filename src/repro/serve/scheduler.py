@@ -1,0 +1,297 @@
+"""Micro-batching request scheduler for the serving layer.
+
+Concurrent callers submit scoring requests (any number of triples each) to
+a queue and receive ``concurrent.futures.Future`` handles.  A single
+worker thread drains the queue, coalescing requests into batches of at
+most ``max_batch_size`` triples: after the first request of a batch it
+keeps accepting more for up to ``max_wait_ms`` (classic size-or-deadline
+micro-batching), then dispatches ONE
+:meth:`~repro.serve.session.InferenceSession.score` call per distinct
+model in the batch.  N coalesced same-model requests therefore reach the
+model as a single batched ``score_triples`` invocation — asserted in the
+tests via the model's :class:`~repro.core.base.ScoringStats` counter.
+
+The single worker also serialises all model access, which is what makes
+the numpy models (mutable sample caches, train/eval toggling) safe to
+drive from the threaded HTTP frontend.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kg.triples import Triple
+from repro.serve.session import InferenceSession
+
+
+@dataclass
+class SchedulerStats:
+    """Coalescing observability: how requests became batches."""
+
+    requests: int = 0
+    batches: int = 0
+    dispatches: int = 0  # model calls (≥ batches under mixed-model traffic)
+    triples: int = 0
+    largest_batch_requests: int = 0
+    largest_batch_triples: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+@dataclass
+class _Request:
+    triples: List[Triple]
+    model: Optional[str]
+    future: "Future[np.ndarray]" = field(default_factory=Future)
+
+
+_STOP = object()
+
+
+class MicroBatchScheduler:
+    """Coalesces concurrent scoring requests into batched model calls.
+
+    Parameters
+    ----------
+    session:
+        The :class:`InferenceSession` all batches are scored through.
+    max_batch_size:
+        Dispatch as soon as a batch holds this many triples.  A single
+        oversized request is never split — it dispatches alone.
+    max_wait_ms:
+        After a batch's first request, how long to keep the batch open for
+        more arrivals before dispatching a partial batch.
+    """
+
+    def __init__(
+        self,
+        session: InferenceSession,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.session = session
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.stats = SchedulerStats()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._worker: Optional[threading.Thread] = None
+        self._retiring: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        # Accepts submissions from construction (pre-start submits coalesce
+        # once the worker runs); a *completed* stop() flips this off so late
+        # submissions fail fast instead of hanging in a dead queue.
+        self._accepting = True
+
+    # ------------------------------------------------------------------
+    def start(self) -> "MicroBatchScheduler":
+        with self._lock:
+            if self._worker is not None and self._worker.is_alive():
+                return self
+            if self._retiring is not None:
+                # A stopped worker may still be draining its backlog; wait
+                # it out so two workers never pull from the queue (and call
+                # the thread-unsafe models) concurrently.
+                self._retiring.join()
+                self._retiring = None
+            self._worker = threading.Thread(
+                target=self._run, name="repro-serve-scheduler", daemon=True
+            )
+            self._accepting = True
+            self._worker.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop the worker after it drains everything already queued.
+
+        If the drain outlives ``timeout`` the worker keeps running in the
+        background; a later :meth:`start` waits for it before spawning a
+        replacement, preserving single-worker model access.
+        """
+        with self._lock:
+            worker = self._worker
+            if worker is None:
+                return
+            self._worker = None
+            # Hand the worker over to _retiring BEFORE releasing the lock:
+            # a concurrent start() during the join window below must see it
+            # and wait, or two workers would drain the queue at once.
+            self._retiring = worker
+        self._queue.put(_STOP)
+        worker.join(timeout=timeout)
+        if not worker.is_alive():
+            with self._lock:
+                if self._retiring is worker:
+                    self._retiring = None
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Terminal stop: refuse new submissions, drain the queue, and fail
+        any request that raced past the final drain — nothing is left
+        hanging against a dead queue.  :meth:`start` re-opens the scheduler."""
+        self._accepting = False
+        self.stop(timeout=timeout)
+        with self._lock:
+            draining = self._retiring is not None and self._retiring.is_alive()
+        if not draining:
+            # No worker left to serve stragglers; fail their futures fast.
+            self._flush_queue()
+
+    def _flush_queue(self) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                continue
+            if not item.future.cancelled():
+                item.future.set_exception(RuntimeError("scheduler is stopped"))
+
+    @property
+    def is_running(self) -> bool:
+        worker = self._worker
+        return worker is not None and worker.is_alive()
+
+    def queue_depth(self) -> int:
+        """Requests currently waiting (approximate, for observability)."""
+        return self._queue.qsize()
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, triples: Sequence[Triple], model: Optional[str] = None
+    ) -> "Future[np.ndarray]":
+        """Enqueue a scoring request; the future resolves to the score
+        array (order-aligned with ``triples``).  Requests may be submitted
+        before :meth:`start` — they coalesce once the worker runs.  After
+        :meth:`close`, submissions raise ``RuntimeError`` until the
+        scheduler is started again (:meth:`stop` alone is a restartable
+        pause and keeps accepting)."""
+        if not self._accepting:
+            raise RuntimeError("scheduler is stopped")
+        request = _Request(
+            triples=[tuple(int(x) for x in triple) for triple in triples],
+            model=model,
+        )
+        if not request.triples:
+            request.future.set_result(np.empty(0, dtype=np.float64))
+            return request.future
+        self._queue.put(request)
+        return request.future
+
+    def score_sync(
+        self,
+        triples: Sequence[Triple],
+        model: Optional[str] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> np.ndarray:
+        """Submit and wait — the one-call convenience the HTTP handlers use."""
+        return self.submit(triples, model).result(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _collect_batch(self, first: "_Request") -> List[_Request]:
+        """Gather requests for one batch: up to ``max_batch_size`` triples
+        or until ``max_wait_ms`` elapses after the first arrival."""
+        batch = [first]
+        total = len(first.triples)
+        deadline = time.monotonic() + self.max_wait_ms / 1000.0
+        while total < self.max_batch_size:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+            if item is _STOP:
+                # Keep the sentinel effective for the outer loop.
+                self._queue.put(_STOP)
+                break
+            batch.append(item)
+            total += len(item.triples)
+        return batch
+
+    def _dispatch(self, batch: List[_Request]) -> None:
+        self.stats.requests += len(batch)
+        # One model call per distinct model in the batch, preserving request
+        # order within each group.  Grouping is by the RESOLVED registry key,
+        # so equivalent specs ("name", "name@latest-version", default None)
+        # coalesce into one dispatch instead of defeating micro-batching.
+        groups: Dict[str, List[_Request]] = {}
+        for request in batch:
+            try:
+                key = self.session.resolve_model(request.model).key
+            except Exception as error:  # noqa: BLE001 — unknown model specs
+                if not request.future.cancelled():
+                    request.future.set_exception(error)
+                continue
+            groups.setdefault(key, []).append(request)
+        if not groups:
+            return
+        # Batch accounting covers only resolvable requests, so /stats never
+        # reports triples the models were never asked to score.
+        scorable = [request for requests in groups.values() for request in requests]
+        self.stats.batches += 1
+        total = sum(len(request.triples) for request in scorable)
+        self.stats.triples += total
+        self.stats.largest_batch_requests = max(
+            self.stats.largest_batch_requests, len(scorable)
+        )
+        self.stats.largest_batch_triples = max(
+            self.stats.largest_batch_triples, total
+        )
+        for key, requests in groups.items():
+            flat: List[Triple] = []
+            for request in requests:
+                flat.extend(request.triples)
+            try:
+                scores = self.session.score(flat, key)
+                self.stats.dispatches += 1
+            except Exception as error:  # noqa: BLE001 — delivered via futures
+                for request in requests:
+                    if not request.future.cancelled():
+                        request.future.set_exception(error)
+                continue
+            offset = 0
+            for request in requests:
+                chunk = scores[offset : offset + len(request.triples)]
+                offset += len(request.triples)
+                if not request.future.cancelled():
+                    request.future.set_result(chunk)
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                # Drain whatever was queued before the stop request.
+                pending: List[_Request] = []
+                while True:
+                    try:
+                        tail = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if tail is not _STOP:
+                        pending.append(tail)
+                for request in pending:
+                    self._dispatch([request])
+                return
+            self._dispatch(self._collect_batch(item))

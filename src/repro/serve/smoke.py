@@ -1,0 +1,77 @@
+"""Serving smoke check: boot a real server, query it, assert sanity.
+
+Run as ``PYTHONPATH=src python -m repro.serve.smoke`` (the CI serving job
+step).  Builds a small synthetic benchmark, registers an untrained
+RMPI-base scorer, boots the HTTP server on an ephemeral port, then issues
+a scored query and a top-k query through the thin client — asserting HTTP
+200 and well-formed JSON for each.  Exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import RMPI, RMPIConfig
+from repro.kg import build_partial_benchmark
+from repro.serve.client import ServingClient
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ServingApp, ServingConfig, ServingServer
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    benchmark = build_partial_benchmark("NELL-995", 1, scale=0.05, seed=0)
+    registry = ModelRegistry()
+    registry.register(
+        "RMPI-base",
+        RMPI(benchmark.num_relations, np.random.default_rng(0), RMPIConfig(embed_dim=16)),
+        meta={"benchmark": benchmark.name},
+    )
+    app = ServingApp(
+        registry,
+        benchmark.test_graph,
+        ServingConfig(port=0, default_model="RMPI-base", max_wait_ms=1.0),
+    )
+    test_triple = next(iter(benchmark.test_triples))
+    with ServingServer(app) as server:
+        client = ServingClient(server.url)
+
+        status, body = client.request("GET", "/health")
+        assert status == 200, f"/health returned {status}: {body}"
+        assert body.get("status") == "ok" and body.get("models"), body
+
+        status, body = client.request(
+            "POST", "/score", {"triples": [list(test_triple)]}
+        )
+        assert status == 200, f"/score returned {status}: {body}"
+        scores = body.get("scores")
+        assert (
+            isinstance(scores, list)
+            and len(scores) == 1
+            and isinstance(scores[0], float)
+            and np.isfinite(scores[0])
+        ), body
+
+        status, body = client.request(
+            "POST",
+            "/topk",
+            {"head": int(test_triple[0]), "relation": int(test_triple[1]), "k": 5},
+        )
+        assert status == 200, f"/topk returned {status}: {body}"
+        predictions = body.get("predictions")
+        assert isinstance(predictions, list) and len(predictions) <= 5, body
+        for row in predictions:
+            assert isinstance(row.get("entity"), int), body
+            assert isinstance(row.get("score"), float), body
+
+        print(
+            f"serving smoke OK at {server.url}: score={scores[0]:+.4f}, "
+            f"top-{len(predictions)} of {body.get('num_candidates', 0)} candidates"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

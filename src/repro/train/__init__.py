@@ -1,6 +1,13 @@
 """`repro.train` — training loops for subgraph-scoring models."""
 
-from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointMismatchError,
+    checkpoint_metadata,
+    load_checkpoint,
+    resolve_checkpoint_path,
+    save_checkpoint,
+)
 from repro.train.trainer import Trainer, TrainingConfig, TrainingHistory, train_model
 
 __all__ = [
@@ -10,4 +17,8 @@ __all__ = [
     "train_model",
     "save_checkpoint",
     "load_checkpoint",
+    "checkpoint_metadata",
+    "resolve_checkpoint_path",
+    "CheckpointMismatchError",
+    "CHECKPOINT_FORMAT_VERSION",
 ]

@@ -14,7 +14,14 @@ from repro.kg.analysis import (
     relation_frequencies,
     to_networkx,
 )
-from repro.train import load_checkpoint, save_checkpoint
+from repro.train import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointMismatchError,
+    checkpoint_metadata,
+    load_checkpoint,
+    resolve_checkpoint_path,
+    save_checkpoint,
+)
 
 
 class TestCheckpoint:
@@ -52,6 +59,113 @@ class TestCheckpoint:
         )
         with pytest.raises(KeyError):
             load_checkpoint(other, path)
+
+
+class TestCheckpointMetadata:
+    def test_meta_entry_written(self, tmp_path, family_graph):
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        path = save_checkpoint(model, str(tmp_path / "model"))
+        assert path.endswith(".npz")  # actual file written is returned
+        meta = checkpoint_metadata(path)
+        assert meta["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert meta["model_class"] == "RMPI"
+        assert meta["num_parameters"] == model.num_parameters()
+
+    def test_extra_meta_roundtrips_through_load(self, tmp_path, family_graph):
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        path = save_checkpoint(
+            model, str(tmp_path / "model"), extra_meta={"benchmark": "family"}
+        )
+        clone = RMPI(family_graph.num_relations, np.random.default_rng(1))
+        meta = load_checkpoint(clone, path)
+        assert meta["benchmark"] == "family"
+
+    def test_mismatch_error_is_clear_and_a_keyerror(self, tmp_path, family_graph):
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        path = save_checkpoint(model, str(tmp_path / "model.npz"))
+        other = RMPI(
+            family_graph.num_relations,
+            np.random.default_rng(0),
+            RMPIConfig(use_disclosing=True),
+        )
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            load_checkpoint(other, path)
+        message = str(excinfo.value)
+        assert "architecture mismatch" in message and "RMPI" in message
+        assert isinstance(excinfo.value, KeyError)  # backwards compatible
+
+    def test_wrong_model_class_rejected(self, tmp_path, family_graph):
+        from repro.baselines import GraIL
+
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        path = save_checkpoint(model, str(tmp_path / "model"))
+        grail = GraIL(family_graph.num_relations, np.random.default_rng(0))
+        with pytest.raises(CheckpointMismatchError) as excinfo:
+            load_checkpoint(grail, path)
+        assert "'RMPI'" in str(excinfo.value) and "'GraIL'" in str(excinfo.value)
+
+    def test_newer_format_version_rejected(self, tmp_path, family_graph):
+        import json
+
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        state = model.state_dict()
+        path = str(tmp_path / "future.npz")
+        meta = {"format_version": CHECKPOINT_FORMAT_VERSION + 1, "model_class": "RMPI"}
+        np.savez(path, **state, **{"__meta__": np.asarray(json.dumps(meta))})
+        with pytest.raises(ValueError, match="format version"):
+            load_checkpoint(model, path)
+
+    def test_legacy_checkpoint_without_meta_loads(self, tmp_path, family_graph):
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        path = str(tmp_path / "legacy.npz")
+        np.savez(path, **model.state_dict())  # pre-metadata layout
+        clone = RMPI(family_graph.num_relations, np.random.default_rng(1))
+        assert load_checkpoint(clone, path) == {}
+        assert clone.score_triples(family_graph, [(0, 0, 1)]) == pytest.approx(
+            model.score_triples(family_graph, [(0, 0, 1)])
+        )
+
+
+class TestCheckpointPathResolution:
+    def test_existing_extensionless_file_wins_over_npz_sibling(
+        self, tmp_path, family_graph
+    ):
+        """An extensionless checkpoint is never shadowed by an unrelated
+        ``.npz`` sibling at the same stem."""
+        wanted = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        wanted.eval()
+        expected = wanted.score_triples(family_graph, [(0, 0, 1)])
+        import os
+
+        written = save_checkpoint(wanted, str(tmp_path / "tmp-store"))
+        os.rename(written, str(tmp_path / "model"))  # extensionless checkpoint
+        unrelated = RMPI(family_graph.num_relations, np.random.default_rng(99))
+        save_checkpoint(unrelated, str(tmp_path / "model.npz"))  # sibling
+
+        assert resolve_checkpoint_path(str(tmp_path / "model")) == str(
+            tmp_path / "model"
+        )
+        clone = RMPI(family_graph.num_relations, np.random.default_rng(5))
+        load_checkpoint(clone, str(tmp_path / "model"))
+        clone.eval()
+        assert clone.score_triples(family_graph, [(0, 0, 1)]) == pytest.approx(expected)
+
+    def test_npz_suffix_appended_when_extensionless_missing(
+        self, tmp_path, family_graph
+    ):
+        model = RMPI(family_graph.num_relations, np.random.default_rng(0))
+        save_checkpoint(model, str(tmp_path / "model"))  # writes model.npz
+        assert resolve_checkpoint_path(str(tmp_path / "model")) == str(
+            tmp_path / "model.npz"
+        )
+        clone = RMPI(family_graph.num_relations, np.random.default_rng(5))
+        load_checkpoint(clone, str(tmp_path / "model"))
+
+    def test_missing_checkpoint_names_all_candidates(self, tmp_path):
+        with pytest.raises(FileNotFoundError) as excinfo:
+            resolve_checkpoint_path(str(tmp_path / "nope"))
+        message = str(excinfo.value)
+        assert "nope" in message and "nope.npz" in message
 
 
 class TestAnalysis:
@@ -143,6 +257,49 @@ class TestCLI:
         )
         assert code == 0
         assert "fully" in capsys.readouterr().out
+
+    def test_serve_dry_run(self, capsys):
+        code = cli_main(["serve", "--dry-run", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out and "RMPI-base" in out
+        assert "max_batch_size=64" in out and "untrained" in out
+
+    def test_serve_dry_run_honours_knobs(self, capsys):
+        code = cli_main(
+            [
+                "serve",
+                "--dry-run",
+                "--scale",
+                "0.05",
+                "--model",
+                "GraIL",
+                "--max-batch-size",
+                "16",
+                "--max-wait-ms",
+                "5",
+                "--no-fused",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GraIL" in out and "max_batch_size=16" in out
+        assert "fused scoring: False" in out
+
+    def test_serve_dry_run_from_checkpoint(self, tmp_path, capsys):
+        from repro.experiments import make_model
+        from repro.kg import build_partial_benchmark
+        from repro.train import save_checkpoint
+
+        benchmark = build_partial_benchmark("NELL-995", 1, 0.05, 0)
+        model = make_model("RMPI-base", benchmark.num_relations, seed=0)
+        path = save_checkpoint(model, str(tmp_path / "served"))
+        code = cli_main(
+            ["serve", "--dry-run", "--scale", "0.05", "--checkpoint", path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoint" in out and path in out
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
