@@ -1,0 +1,209 @@
+"""Prepare-pipeline microbenchmark: extraction → line graph → plan → forward.
+
+Tracks the per-stage cost of sample preparation — the serving and eval hot
+path (PR 1 vectorized extraction; this PR vectorizes the relation-view
+transform and Algorithm-1 plan compilation) — and gates the end-to-end
+speedup of the vectorized pipeline over the legacy pure-Python reference
+path on the 2-hop ranking workload.  Results are archived both as a
+rendered table and as machine-readable ``BENCH_prepare.json`` under
+``benchmarks/results/``.
+
+``REPRO_BENCH_MIN_PREPARE_SPEEDUP`` overrides the asserted floor (default
+3x; CI sets a lower one because shared runners time noisily).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import RMPI, RMPIConfig
+from repro.experiments import bench_settings
+from repro.kg import KnowledgeGraph, build_partial_benchmark, ranking_candidates
+from repro.subgraph import (
+    build_message_plans_many,
+    build_relational_graphs_many,
+    extract_subgraphs_many,
+    legacy_build_message_plan,
+    legacy_build_relational_graph,
+    legacy_extract_enclosing_subgraph,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+NUM_HOPS = 2
+NUM_LAYERS = 2
+
+
+def _bench_graph():
+    settings = bench_settings()
+    return build_partial_benchmark(
+        "FB15k-237", 2, scale=settings.scale, seed=settings.seed
+    )
+
+
+def _ranking_workload(bench, num_queries=8, num_negatives=49):
+    """Per query, the truth plus ``num_negatives`` one-side corruptions."""
+    graph = bench.train_graph
+    rng = np.random.default_rng(0)
+    pool = sorted(graph.triples.entities())
+    queries = (
+        list(bench.test_triples)[:num_queries]
+        or list(bench.train_triples)[:num_queries]
+    )
+    workload = []
+    for i, query in enumerate(queries):
+        workload.extend(
+            ranking_candidates(
+                query,
+                graph.num_entities,
+                rng,
+                num_negatives=num_negatives,
+                candidate_entities=pool,
+                corrupt_head=bool(i % 2),
+            )
+        )
+    return graph, workload
+
+
+def _best_of_interleaved(repeats, *fns):
+    """Best wall-clock per fn, interleaving runs so CPU-state drift hits
+    all contenders equally."""
+    best = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            start = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - start)
+    return best
+
+
+def test_perf_prepare_pipeline_speedup(emit):
+    """End-to-end + per-stage legacy-vs-vectorized prepare timings."""
+    bench = _bench_graph()
+    graph, workload = _ranking_workload(bench)
+
+    # Fresh graph for the vectorized path so CSR build + cache warm-up are
+    # included in the warm-up run, then steady state is measured.
+    csr_graph = KnowledgeGraph(graph.triples, graph.num_entities, graph.num_relations)
+    subgraphs = extract_subgraphs_many(csr_graph, workload, NUM_HOPS)
+    relationals = build_relational_graphs_many(subgraphs)
+
+    # --- per-stage contenders (identical inputs per stage) --------------
+    def legacy_extract():
+        for triple in workload:
+            legacy_extract_enclosing_subgraph(graph, triple, NUM_HOPS)
+
+    def vectorized_extract():
+        extract_subgraphs_many(csr_graph, workload, NUM_HOPS)
+
+    def legacy_linegraph():
+        for sub in subgraphs:
+            legacy_build_relational_graph(sub)
+
+    def vectorized_linegraph():
+        build_relational_graphs_many(subgraphs)
+
+    def legacy_plan():
+        for rg in relationals:
+            legacy_build_message_plan(rg, NUM_LAYERS)
+
+    def vectorized_plan():
+        build_message_plans_many(relationals, NUM_LAYERS)
+
+    # --- end-to-end prepare contenders ----------------------------------
+    def legacy_pipeline():
+        for triple in workload:
+            sub = legacy_extract_enclosing_subgraph(graph, triple, NUM_HOPS)
+            legacy_build_message_plan(
+                legacy_build_relational_graph(sub), NUM_LAYERS
+            )
+
+    def vectorized_pipeline():
+        subs = extract_subgraphs_many(csr_graph, workload, NUM_HOPS)
+        build_message_plans_many(build_relational_graphs_many(subs), NUM_LAYERS)
+
+    legacy_pipeline()  # warm (adjacency lists)
+    vectorized_pipeline()  # warm (CSR + neighborhood cache)
+    stage_times = {
+        "extract": _best_of_interleaved(3, legacy_extract, vectorized_extract),
+        "linegraph": _best_of_interleaved(3, legacy_linegraph, vectorized_linegraph),
+        "plan": _best_of_interleaved(3, legacy_plan, vectorized_plan),
+    }
+    t_legacy, t_new = _best_of_interleaved(3, legacy_pipeline, vectorized_pipeline)
+    speedup = t_legacy / t_new
+
+    # Forward stage (vectorized only): fused batched scoring over the
+    # prepared plans, reported for the full pipeline picture.
+    model = RMPI(
+        bench.num_relations, np.random.default_rng(0), RMPIConfig(dropout=0.0)
+    )
+    model.eval()
+    samples = model.prepare_many(csr_graph, workload[:64])
+    model.score_samples_batched(samples)  # warm
+    start = time.perf_counter()
+    model.score_samples_batched(samples)
+    t_forward = time.perf_counter() - start
+
+    n = len(workload)
+    lines = [
+        "prepare pipeline (2-hop ranking workload, "
+        f"{n} candidate triples, graph={graph!r})",
+        f"  {'stage':<12}{'legacy':>12}{'vectorized':>12}{'speedup':>10}",
+    ]
+    stages_json = {}
+    for stage, (t_l, t_v) in stage_times.items():
+        lines.append(
+            f"  {stage:<12}{t_l * 1e3:>10.1f}ms{t_v * 1e3:>10.1f}ms"
+            f"{t_l / t_v:>9.1f}x"
+        )
+        stages_json[stage] = {
+            "legacy_s": t_l,
+            "vectorized_s": t_v,
+            "speedup": t_l / t_v,
+        }
+    lines += [
+        f"  {'end-to-end':<12}{t_legacy * 1e3:>10.1f}ms{t_new * 1e3:>10.1f}ms"
+        f"{speedup:>9.1f}x",
+        f"  fused forward (64 samples): {t_forward * 1e3:8.1f} ms",
+    ]
+    emit("bench_prepare_pipeline", "\n".join(lines))
+
+    floor = float(os.environ.get("REPRO_BENCH_MIN_PREPARE_SPEEDUP", "3.0"))
+    payload = {
+        "workload": {
+            "candidates": n,
+            "num_hops": NUM_HOPS,
+            "num_layers": NUM_LAYERS,
+        },
+        "stages": stages_json,
+        "end_to_end": {
+            "legacy_s": t_legacy,
+            "vectorized_s": t_new,
+            "speedup": speedup,
+        },
+        "forward_fused_64_s": t_forward,
+        "asserted_floor": floor,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(
+        os.path.join(RESULTS_DIR, "BENCH_prepare.json"), "w", encoding="utf-8"
+    ) as fh:
+        json.dump(payload, fh, indent=2)
+
+    assert speedup >= floor, (
+        f"expected >={floor}x end-to-end prepare speedup, got {speedup:.2f}x"
+    )
+
+
+def test_perf_vectorized_prepare(benchmark):
+    """Steady-state timing of the full vectorized prepare pipeline."""
+    bench = _bench_graph()
+    graph, workload = _ranking_workload(bench)
+    extract_subgraphs_many(graph, workload, NUM_HOPS)  # warm CSR + cache
+
+    def prepare_all():
+        subs = extract_subgraphs_many(graph, workload, NUM_HOPS)
+        build_message_plans_many(build_relational_graphs_many(subs), NUM_LAYERS)
+
+    benchmark(prepare_all)

@@ -28,7 +28,11 @@ from repro.subgraph.extraction import (
     ExtractedSubgraph,
     extract_enclosing_subgraph,
 )
-from repro.subgraph.labeling import encode_labels, label_feature_dim
+from repro.subgraph.labeling import (
+    compressed_edge_arrays,
+    encode_labels,
+    label_feature_dim,
+)
 
 
 @dataclass(frozen=True)
@@ -164,28 +168,19 @@ class GraIL(SubgraphScoringModel):
         )
 
     def _sample_from_subgraph(self, subgraph: ExtractedSubgraph) -> GraILSample:
-        features, index = encode_labels(subgraph)
-        heads: List[int] = []
-        relations: List[int] = []
-        tails: List[int] = []
-        for head, rel, tail in subgraph.triples:
-            heads.append(index[head])
-            relations.append(rel)
-            tails.append(index[tail])
-        # GraIL adds the target edge back so the two targets are connected.
-        head, relation, tail = subgraph.head, subgraph.relation, subgraph.tail
-        heads.append(index[head])
-        relations.append(relation)
-        tails.append(index[tail])
+        features, _index = encode_labels(subgraph)
+        edge_heads, edge_relations, edge_tails, head_index, tail_index = (
+            compressed_edge_arrays(subgraph)
+        )
         return GraILSample(
-            triple=(head, relation, tail),
+            triple=(subgraph.head, subgraph.relation, subgraph.tail),
             num_nodes=len(subgraph.entities),
             init_features=features,
-            edge_heads=np.asarray(heads, dtype=np.int64),
-            edge_relations=np.asarray(relations, dtype=np.int64),
-            edge_tails=np.asarray(tails, dtype=np.int64),
-            head_index=index[head],
-            tail_index=index[tail],
+            edge_heads=edge_heads,
+            edge_relations=edge_relations,
+            edge_tails=edge_tails,
+            head_index=head_index,
+            tail_index=tail_index,
         )
 
     # ------------------------------------------------------------------

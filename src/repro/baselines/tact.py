@@ -31,7 +31,11 @@ from repro.subgraph.extraction import (
     ExtractedSubgraph,
     extract_enclosing_subgraph,
 )
-from repro.subgraph.linegraph import NUM_EDGE_TYPES, build_relational_graph
+from repro.subgraph.linegraph import (
+    NUM_EDGE_TYPES,
+    RelationalGraph,
+    build_relational_graph,
+)
 
 
 @dataclass(frozen=True)
@@ -76,7 +80,13 @@ class RelationalCorrelationModule(SubgraphScoringModel):
     def _neighborhood_from_subgraph(
         self, triple: Triple, subgraph: ExtractedSubgraph
     ) -> TACTSample:
-        relational = build_relational_graph(subgraph)
+        return self._neighborhood_from_relational(
+            triple, build_relational_graph(subgraph)
+        )
+
+    def _neighborhood_from_relational(
+        self, triple: Triple, relational: RelationalGraph
+    ) -> TACTSample:
         incoming = relational.incoming(relational.target_node)
         neighbor_relations = relational.node_relations[incoming[:, 0]]
         return TACTSample(
@@ -122,9 +132,15 @@ class TACTBase(RelationalCorrelationModule):
         return self._neighborhood(graph, triple)
 
     def prepare_many(self, graph: KnowledgeGraph, triples) -> list:
-        """Batched prepare via the vectorized extraction engine."""
-        return self._prepare_from_enclosing(
-            graph, triples, self.num_hops, self._neighborhood_from_subgraph
+        """Batched prepare: vectorized extraction + batched relation-view
+        transforms (one shared numpy pass across the candidate list)."""
+        return self._prepare_from_relational(
+            graph,
+            triples,
+            self.num_hops,
+            lambda triple, _subgraph, relational: self._neighborhood_from_relational(
+                triple, relational
+            ),
         )
 
     def score_sample(self, sample: TACTSample) -> Tensor:
@@ -163,11 +179,12 @@ class TACT(RelationalCorrelationModule):
 
     def prepare_many(self, graph: KnowledgeGraph, triples) -> list:
         """Batched prepare: one extraction per triple feeds BOTH the
-        correlation module and the GraIL-style entity module (they use the
-        same enclosing subgraph and hop count)."""
+        correlation module (via the batched relation-view transform) and
+        the GraIL-style entity module (they use the same enclosing
+        subgraph and hop count)."""
 
-        def build(triple, subgraph):
-            sample = self._neighborhood_from_subgraph(triple, subgraph)
+        def build(triple, subgraph, relational):
+            sample = self._neighborhood_from_relational(triple, relational)
             return TACTSample(
                 triple=sample.triple,
                 neighbor_relations=sample.neighbor_relations,
@@ -175,7 +192,7 @@ class TACT(RelationalCorrelationModule):
                 grail=self.entity_module._sample_from_subgraph(subgraph),
             )
 
-        return self._prepare_from_enclosing(graph, triples, self.num_hops, build)
+        return self._prepare_from_relational(graph, triples, self.num_hops, build)
 
     def score_sample(self, sample: TACTSample) -> Tensor:
         correlation = self.correlation_representation(sample)

@@ -94,6 +94,28 @@ class SubgraphScoringModel(Module):
         subgraphs = extract_subgraphs_many(graph, triples, num_hops)
         return [build(triple, subgraph) for triple, subgraph in zip(triples, subgraphs)]
 
+    def _prepare_from_relational(
+        self,
+        graph: KnowledgeGraph,
+        triples: Sequence[Triple],
+        num_hops: int,
+        build,
+    ) -> List[Any]:
+        """Shared ``prepare_many`` template for relation-view models:
+        batch-extract, batch-transform to relation view (one shared numpy
+        pass across the candidate list), then call
+        ``build(triple, subgraph, relational)`` per item."""
+        from repro.subgraph.extraction import extract_subgraphs_many
+        from repro.subgraph.linegraph import build_relational_graphs_many
+
+        triples = list(triples)
+        subgraphs = extract_subgraphs_many(graph, triples, num_hops)
+        relationals = build_relational_graphs_many(subgraphs)
+        return [
+            build(triple, subgraph, relational)
+            for triple, subgraph, relational in zip(triples, subgraphs, relationals)
+        ]
+
     def score_sample(self, sample: Any) -> Tensor:
         """Differentiable score of one prepared sample, shape ``(1, 1)``."""
         raise NotImplementedError
@@ -138,6 +160,19 @@ class SubgraphScoringModel(Module):
         if len(scores) == 1:
             return scores[0]
         return ops.concat(scores, axis=0)
+
+    def score_batch_fused(
+        self, graph: KnowledgeGraph, triples: Sequence[Triple]
+    ) -> Tensor:
+        """Differentiable batched scores through the fastest available path.
+
+        The generic fallback is :meth:`score_batch` — batched (memoised)
+        prepare followed by per-sample scoring — so every model supports
+        fused training (``TrainingConfig.use_fused_scoring``, on by
+        default).  Models with a true disjoint-union fused forward (RMPI)
+        override this with a single merged message-passing pass.
+        """
+        return self.score_batch(graph, triples)
 
     def score_triples(self, graph: KnowledgeGraph, triples: Sequence[Triple]) -> np.ndarray:
         """Numpy scores in eval mode (no dropout, no graph recording).

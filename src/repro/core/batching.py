@@ -64,39 +64,37 @@ def merge_plans(plans: Sequence[MessagePlan]) -> BatchedPlan:
         raise ValueError("plans disagree on layer count")
     depth = num_layers.pop()
 
+    node_counts = np.asarray([plan.num_nodes for plan in plans], dtype=np.int64)
     offsets = np.zeros(len(plans), dtype=np.int64)
-    total = 0
-    for i, plan in enumerate(plans):
-        offsets[i] = total
-        total += plan.num_nodes
+    np.cumsum(node_counts[:-1], out=offsets[1:])
 
     node_relations = np.concatenate([plan.node_relations for plan in plans])
-    target_indices = np.asarray(
-        [offsets[i] + plan.target_index for i, plan in enumerate(plans)],
-        dtype=np.int64,
+    target_indices = offsets + np.asarray(
+        [plan.target_index for plan in plans], dtype=np.int64
     )
 
     layers: List[BatchedLayer] = []
     for k in range(depth):
-        edge_parts: List[np.ndarray] = []
-        target_parts: List[np.ndarray] = []
-        for i, plan in enumerate(plans):
-            edges = plan.layers[k].edges
-            if len(edges) == 0:
-                continue
-            shifted = edges.copy()
-            shifted[:, 0] += offsets[i]
-            shifted[:, 2] += offsets[i]
-            edge_parts.append(shifted)
-            target_parts.append(
-                np.full(len(edges), target_indices[i], dtype=np.int64)
+        edge_counts = np.asarray(
+            [len(plan.layers[k].edges) for plan in plans], dtype=np.int64
+        )
+        if int(edge_counts.sum()) == 0:
+            layers.append(
+                BatchedLayer(
+                    edges=np.empty((0, 3), dtype=np.int64),
+                    edge_targets=np.empty(0, dtype=np.int64),
+                )
             )
-        if edge_parts:
-            merged_edges = np.concatenate(edge_parts)
-            merged_targets = np.concatenate(target_parts)
-        else:
-            merged_edges = np.empty((0, 3), dtype=np.int64)
-            merged_targets = np.empty(0, dtype=np.int64)
+            continue
+        merged_edges = np.concatenate(
+            [plan.layers[k].edges for plan in plans if len(plan.layers[k].edges)]
+        )
+        # One shift pass over the concatenated copy instead of a
+        # copy-and-add per plan.
+        shift = np.repeat(offsets, edge_counts)
+        merged_edges[:, 0] += shift
+        merged_edges[:, 2] += shift
+        merged_targets = np.repeat(target_indices, edge_counts)
         layers.append(BatchedLayer(edges=merged_edges, edge_targets=merged_targets))
 
     return BatchedPlan(

@@ -35,13 +35,13 @@ from repro.core.layers import RelationalMessagePassingLayer
 from repro.core.scoring import ScoringHead
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
-from repro.subgraph.extraction import (
-    ExtractedSubgraph,
-    extract_subgraphs_many,
-)
+from repro.subgraph.extraction import extract_subgraphs_many
 from repro.subgraph.labeling import encode_labels, label_feature_dim
-from repro.subgraph.linegraph import build_relational_graph, target_one_hop_relations
-from repro.subgraph.pruning import MessagePlan, build_message_plan
+from repro.subgraph.linegraph import (
+    build_relational_graphs_many,
+    target_one_hop_relations,
+)
+from repro.subgraph.pruning import MessagePlan, build_message_plans_many
 
 
 @dataclass(frozen=True)
@@ -111,11 +111,14 @@ class RMPI(SubgraphScoringModel):
         return self.prepare_many(graph, [triple])[0]
 
     def prepare_many(self, graph: KnowledgeGraph, triples) -> list:
-        """Batched sample construction over the vectorized extraction engine.
+        """Batched sample construction: shared numpy passes end to end.
 
         Enclosing (and, for the NE variant, disclosing) subgraphs for the
         whole batch come from :func:`extract_subgraphs_many`, so the 50
-        candidates of one ranking query share their K-hop frontier BFS.
+        candidates of one ranking query share their K-hop frontier BFS; the
+        relation-view transforms and Algorithm-1 plan compilations likewise
+        run through the batched :func:`build_relational_graphs_many` /
+        :func:`build_message_plans_many` kernels in one pass each.
         """
         triples = [tuple(int(x) for x in triple) for triple in triples]
         enclosings = extract_subgraphs_many(
@@ -128,38 +131,34 @@ class RMPI(SubgraphScoringModel):
             if self.config.use_disclosing
             else [None] * len(triples)
         )
-        return [
-            self._build_sample(triple, enclosing, disclosing)
-            for triple, enclosing, disclosing in zip(triples, enclosings, disclosings)
-        ]
-
-    def _build_sample(
-        self,
-        triple: Triple,
-        enclosing: ExtractedSubgraph,
-        disclosing: Optional[ExtractedSubgraph],
-    ) -> RMPISample:
-        relational = build_relational_graph(enclosing)
-        plan = build_message_plan(relational, self.config.num_layers)
-        disclosing_relations: Optional[np.ndarray] = None
-        if disclosing is not None:
-            disclosing_relations = np.asarray(
-                target_one_hop_relations(disclosing), dtype=np.int64
+        relationals = build_relational_graphs_many(enclosings)
+        plans = build_message_plans_many(relationals, self.config.num_layers)
+        samples: list = []
+        for triple, enclosing, disclosing, plan in zip(
+            triples, enclosings, disclosings, plans
+        ):
+            disclosing_relations: Optional[np.ndarray] = None
+            if disclosing is not None:
+                disclosing_relations = np.asarray(
+                    target_one_hop_relations(disclosing), dtype=np.int64
+                )
+            entity_clue: Optional[np.ndarray] = None
+            if self.config.use_entity_clues:
+                # Entity-side evidence (future-work item 2): mean double-radius
+                # label over the enclosing subgraph's entities summarises its
+                # shape around the target pair.
+                label_features, _index = encode_labels(enclosing)
+                entity_clue = label_features.mean(axis=0, keepdims=True)
+            samples.append(
+                RMPISample(
+                    triple=triple,
+                    plan=plan,
+                    disclosing_relations=disclosing_relations,
+                    enclosing_empty=enclosing.is_empty,
+                    entity_clue=entity_clue,
+                )
             )
-        entity_clue: Optional[np.ndarray] = None
-        if self.config.use_entity_clues:
-            # Entity-side evidence (future-work item 2): mean double-radius
-            # label over the enclosing subgraph's entities summarises its
-            # shape around the target pair.
-            label_features, _index = encode_labels(enclosing)
-            entity_clue = label_features.mean(axis=0, keepdims=True)
-        return RMPISample(
-            triple=triple,
-            plan=plan,
-            disclosing_relations=disclosing_relations,
-            enclosing_empty=enclosing.is_empty,
-            entity_clue=entity_clue,
-        )
+        return samples
 
     # ------------------------------------------------------------------
     def score_sample(self, sample: RMPISample) -> Tensor:
@@ -237,16 +236,37 @@ class RMPI(SubgraphScoringModel):
 
         disclosing: Optional[Tensor] = None
         if self.ne is not None:
-            rows = []
-            for sample in samples:
-                target_embedding = self.embedding(np.asarray([sample.triple[1]]))
-                neighbors = sample.disclosing_relations
-                if neighbors is not None and len(neighbors):
-                    neighbor_embeddings = self.embedding(neighbors)
-                else:
-                    neighbor_embeddings = Tensor(np.zeros((0, self.config.embed_dim)))
-                rows.append(self.ne(neighbor_embeddings, target_embedding))
-            disclosing = ops.concat(rows, axis=0)
+            # One ragged concat over every sample's disclosing neighborhood:
+            # a single embedding lookup + one segment-attention pass replace
+            # the per-sample loop of tiny NE forwards.
+            counts = np.asarray(
+                [
+                    len(s.disclosing_relations)
+                    if s.disclosing_relations is not None
+                    else 0
+                    for s in samples
+                ],
+                dtype=np.int64,
+            )
+            target_embeddings = self.embedding(
+                np.asarray([s.triple[1] for s in samples], dtype=np.int64)
+            )
+            if int(counts.sum()):
+                all_neighbors = np.concatenate(
+                    [
+                        s.disclosing_relations
+                        for s in samples
+                        if s.disclosing_relations is not None
+                        and len(s.disclosing_relations)
+                    ]
+                )
+                neighbor_embeddings = self.embedding(all_neighbors)
+            else:
+                neighbor_embeddings = Tensor(np.zeros((0, self.config.embed_dim)))
+            segment_ids = np.repeat(np.arange(len(samples), dtype=np.int64), counts)
+            disclosing = self.ne.forward_batched(
+                neighbor_embeddings, segment_ids, target_embeddings
+            )
 
         entity_clue: Optional[Tensor] = None
         if self.config.use_entity_clues:

@@ -20,15 +20,20 @@ from repro.subgraph.linegraph import (
     NUM_EDGE_TYPES,
     RelationalGraph,
     build_relational_graph,
+    build_relational_graphs_many,
     connection_types,
+    legacy_build_relational_graph,
     target_one_hop_relations,
 )
 from repro.subgraph.pruning import (
     LayerPlan,
     MessagePlan,
     build_message_plan,
+    build_message_plans_many,
     full_graph_plan,
     incoming_hops,
+    legacy_build_message_plan,
+    legacy_incoming_hops,
 )
 
 __all__ = [
@@ -43,6 +48,8 @@ __all__ = [
     "label_feature_dim",
     "RelationalGraph",
     "build_relational_graph",
+    "build_relational_graphs_many",
+    "legacy_build_relational_graph",
     "connection_types",
     "target_one_hop_relations",
     "NUM_EDGE_TYPES",
@@ -50,6 +57,9 @@ __all__ = [
     "LayerPlan",
     "MessagePlan",
     "build_message_plan",
+    "build_message_plans_many",
+    "legacy_build_message_plan",
     "full_graph_plan",
     "incoming_hops",
+    "legacy_incoming_hops",
 ]

@@ -41,6 +41,34 @@ def label_feature_dim(num_hops: int) -> int:
     return 2 * (num_hops + 1)
 
 
+def compressed_edge_arrays(
+    subgraph: ExtractedSubgraph,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Index-compress the subgraph's edges, appending the target edge last.
+
+    Entities are sorted, so ``searchsorted`` maps endpoints to node indices
+    in one shot.  Returns ``(edge_heads, edge_relations, edge_tails,
+    head_index, tail_index)`` where the final row is the target edge (the
+    GraIL-family models add it back so the two targets stay connected; its
+    row index is ``len(subgraph.triples)``).
+    """
+    entities = np.asarray(subgraph.entities, dtype=np.int64)
+    arr = subgraph.triples.array
+    head_index = int(entities.searchsorted(subgraph.head))
+    tail_index = int(entities.searchsorted(subgraph.tail))
+    num_edges = len(arr)
+    edge_heads = np.empty(num_edges + 1, dtype=np.int64)
+    edge_relations = np.empty(num_edges + 1, dtype=np.int64)
+    edge_tails = np.empty(num_edges + 1, dtype=np.int64)
+    edge_heads[:num_edges] = entities.searchsorted(arr[:, 0])
+    edge_relations[:num_edges] = arr[:, 1]
+    edge_tails[:num_edges] = entities.searchsorted(arr[:, 2])
+    edge_heads[num_edges] = head_index
+    edge_relations[num_edges] = subgraph.relation
+    edge_tails[num_edges] = tail_index
+    return edge_heads, edge_relations, edge_tails, head_index, tail_index
+
+
 def encode_labels(subgraph: ExtractedSubgraph) -> Tuple[np.ndarray, Dict[int, int]]:
     """One-hot encode labels for all subgraph entities.
 

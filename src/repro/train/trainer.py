@@ -36,7 +36,7 @@ class TrainingConfig:
     validate_every: int = 0  # 0 = no intra-training validation
     patience: int = 3
     seed: int = 0
-    use_fused_scoring: bool = False  # disjoint-union batched forward (RMPI)
+    use_fused_scoring: bool = True  # batched scoring (fused forward on RMPI)
 
 
 @dataclass
@@ -125,11 +125,10 @@ class Trainer:
                 known=self._known,
                 candidate_entities=self._entities,
             )
-            use_fused = config.use_fused_scoring and hasattr(
-                self.model, "score_batch_fused"
-            )
             score_fn = (
-                self.model.score_batch_fused if use_fused else self.model.score_batch
+                self.model.score_batch_fused
+                if config.use_fused_scoring
+                else self.model.score_batch
             )
             pos_scores = score_fn(self.graph, batch)
             neg_scores = score_fn(self.graph, negatives)
