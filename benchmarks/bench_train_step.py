@@ -1,0 +1,253 @@
+"""Train-step microbenchmark: fused compute engine vs the pre-PR engine.
+
+Times one optimizer step (forward, backward, gradient clip + Adam) of the
+margin-ranking trainer on a fixed batch of positives and negatives, for two
+engine configurations:
+
+* **fused** — the defaults: float32 engine dtype, sort-based segment
+  kernels, the stacked typed-linear matmul, and the one-pass merged
+  positives+negatives step;
+* **legacy** — the pre-PR engine reconstructed from the kept reference
+  paths: a float64 model, ``np.add.at`` scatter kernels and the
+  per-edge-type matmul loop (``repro.autograd.engine.legacy_kernels``),
+  and the two-pass (positives then negatives) step layout.
+
+Sample preparation is memoised in both models and warmed before timing, so
+the numbers isolate the autograd compute engine — the post-PR-3 hot path.
+An eval-ranking contender pair additionally reports what no-grad + float32
+buys the serving/eval forward.  Results land in ``BENCH_train.json``.
+
+``REPRO_BENCH_MIN_TRAIN_SPEEDUP`` overrides the asserted end-to-end floor
+(default 2x; CI sets a lower one because shared runners time noisily).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.autograd import Adam, clip_grad_norm, default_dtype, legacy_kernels
+from repro.autograd.losses import margin_ranking_loss
+from repro.core import RMPI, RMPIConfig
+from repro.experiments import bench_settings
+from repro.kg import TripleSet, build_partial_benchmark, ranking_candidates
+from repro.kg.sampling import negative_triples
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BATCH_SIZE = 16
+MARGIN = 10.0
+CLIP_NORM = 5.0
+
+
+def _bench_graph():
+    settings = bench_settings()
+    return build_partial_benchmark(
+        "FB15k-237", 2, scale=settings.scale, seed=settings.seed
+    )
+
+
+def _training_batch(bench):
+    graph = bench.train_graph
+    positives = list(bench.train_triples)[:BATCH_SIZE]
+    rng = np.random.default_rng(0)
+    negatives = negative_triples(
+        TripleSet(positives),
+        num_entities=graph.num_entities,
+        rng=rng,
+        known=set(graph.triples) | set(bench.train_triples),
+        candidate_entities=sorted(graph.triples.entities()),
+    )
+    return graph, positives, negatives
+
+
+def _ranking_workload(bench, num_queries=4, num_negatives=49):
+    graph = bench.train_graph
+    rng = np.random.default_rng(1)
+    pool = sorted(graph.triples.entities())
+    queries = (
+        list(bench.test_triples)[:num_queries]
+        or list(bench.train_triples)[:num_queries]
+    )
+    workload = []
+    for i, query in enumerate(queries):
+        workload.extend(
+            ranking_candidates(
+                query,
+                graph.num_entities,
+                rng,
+                num_negatives=num_negatives,
+                candidate_entities=pool,
+                corrupt_head=bool(i % 2),
+            )
+        )
+    return workload
+
+
+def _make_model(bench, float64=False):
+    config = RMPIConfig(dropout=0.0, use_target_attention=True)
+    if float64:
+        with default_dtype("float64"):
+            return RMPI(bench.num_relations, np.random.default_rng(0), config)
+    return RMPI(bench.num_relations, np.random.default_rng(0), config)
+
+
+def _train_step(model, optimizer, graph, positives, negatives, one_pass):
+    """One optimizer step; returns (forward_s, backward_s, optimizer_s)."""
+    model.train()
+    t0 = time.perf_counter()
+    if one_pass:
+        scores = model.score_batch_fused(graph, positives + negatives)
+        pos_scores = scores[: len(positives)]
+        neg_scores = scores[len(positives) :]
+    else:
+        pos_scores = model.score_batch_fused(graph, positives)
+        neg_scores = model.score_batch_fused(graph, negatives)
+    loss = margin_ranking_loss(pos_scores, neg_scores, margin=MARGIN)
+    t1 = time.perf_counter()
+    optimizer.zero_grad()
+    loss.backward()
+    t2 = time.perf_counter()
+    clip_grad_norm(model.parameters(), CLIP_NORM)
+    optimizer.step()
+    t3 = time.perf_counter()
+    return t1 - t0, t2 - t1, t3 - t2
+
+
+def test_perf_train_step_speedup(emit):
+    bench = _bench_graph()
+    graph, positives, negatives = _training_batch(bench)
+
+    fused_model = _make_model(bench)
+    fused_opt = Adam(fused_model.parameters(), lr=1e-3)
+    legacy_model = _make_model(bench, float64=True)
+    legacy_opt = Adam(legacy_model.parameters(), lr=1e-3)
+
+    def fused_step():
+        return _train_step(
+            fused_model, fused_opt, graph, positives, negatives, one_pass=True
+        )
+
+    def legacy_step():
+        with legacy_kernels():
+            return _train_step(
+                legacy_model, legacy_opt, graph, positives, negatives, one_pass=False
+            )
+
+    # Warm the memoised prepare caches (extraction/plan compilation are
+    # PR 1–3 territory; this bench isolates the compute engine).
+    fused_step()
+    legacy_step()
+
+    repeats = 5
+    best = {"fused": None, "legacy": None}
+    for _ in range(repeats):
+        for name, step in (("legacy", legacy_step), ("fused", fused_step)):
+            stages = step()
+            total = sum(stages)
+            if best[name] is None or total < sum(best[name]):
+                best[name] = stages
+
+    stage_names = ("forward", "backward", "optimizer")
+    legacy_stages = dict(zip(stage_names, best["legacy"]))
+    fused_stages = dict(zip(stage_names, best["fused"]))
+    t_legacy = sum(best["legacy"])
+    t_fused = sum(best["fused"])
+    speedup = t_legacy / t_fused
+
+    # Eval-ranking contenders: the pre-PR eval forward built a full
+    # backward graph in float64; the new path is no-grad float32.
+    workload = _ranking_workload(bench)
+    fused_model.eval()
+    legacy_model.eval()
+
+    def fused_eval():
+        fused_model.score_triples_fused(graph, workload)
+
+    def legacy_eval():
+        with legacy_kernels():
+            legacy_model.score_batch_fused(graph, workload)
+
+    fused_eval()  # warm
+    legacy_eval()
+    t_eval_fused = t_eval_legacy = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        legacy_eval()
+        t_eval_legacy = min(t_eval_legacy, time.perf_counter() - start)
+        start = time.perf_counter()
+        fused_eval()
+        t_eval_fused = min(t_eval_fused, time.perf_counter() - start)
+    eval_speedup = t_eval_legacy / t_eval_fused
+
+    lines = [
+        "train step (batch of "
+        f"{len(positives)} positives + {len(negatives)} negatives, "
+        f"graph={graph!r})",
+        f"  {'stage':<12}{'legacy':>12}{'fused':>12}{'speedup':>10}",
+    ]
+    stages_json = {}
+    for stage in stage_names:
+        t_l, t_f = legacy_stages[stage], fused_stages[stage]
+        lines.append(
+            f"  {stage:<12}{t_l * 1e3:>10.1f}ms{t_f * 1e3:>10.1f}ms"
+            f"{t_l / t_f:>9.1f}x"
+        )
+        stages_json[stage] = {
+            "legacy_s": t_l,
+            "fused_s": t_f,
+            "speedup": t_l / t_f,
+        }
+    lines += [
+        f"  {'end-to-end':<12}{t_legacy * 1e3:>10.1f}ms{t_fused * 1e3:>10.1f}ms"
+        f"{speedup:>9.1f}x",
+        f"  eval ranking ({len(workload)} candidates)"
+        f"{t_eval_legacy * 1e3:>10.1f}ms{t_eval_fused * 1e3:>10.1f}ms"
+        f"{eval_speedup:>9.1f}x",
+    ]
+    emit("bench_train_step", "\n".join(lines))
+
+    floor = float(os.environ.get("REPRO_BENCH_MIN_TRAIN_SPEEDUP", "2.0"))
+    payload = {
+        "workload": {
+            "batch_positives": len(positives),
+            "batch_negatives": len(negatives),
+            "eval_candidates": len(workload),
+        },
+        "stages": stages_json,
+        "end_to_end": {
+            "legacy_s": t_legacy,
+            "fused_s": t_fused,
+            "speedup": speedup,
+        },
+        "eval_ranking": {
+            "legacy_s": t_eval_legacy,
+            "fused_s": t_eval_fused,
+            "speedup": eval_speedup,
+        },
+        "asserted_floor": floor,
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(
+        os.path.join(RESULTS_DIR, "BENCH_train.json"), "w", encoding="utf-8"
+    ) as fh:
+        json.dump(payload, fh, indent=2)
+
+    assert speedup >= floor, (
+        f"expected >={floor}x end-to-end train-step speedup, got {speedup:.2f}x"
+    )
+
+
+def test_perf_fused_train_step(benchmark):
+    """Steady-state timing of the fused one-pass train step."""
+    bench = _bench_graph()
+    graph, positives, negatives = _training_batch(bench)
+    model = _make_model(bench)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    _train_step(model, optimizer, graph, positives, negatives, one_pass=True)
+
+    benchmark(
+        lambda: _train_step(
+            model, optimizer, graph, positives, negatives, one_pass=True
+        )
+    )

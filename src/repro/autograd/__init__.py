@@ -8,8 +8,19 @@ Public surface:
 * :class:`~repro.autograd.module.Module` / :class:`~repro.autograd.module.Parameter`
 * layers (:class:`Linear`, :class:`Embedding`, :class:`Dropout`, :class:`MLP`)
 * optimizers (:class:`SGD`, :class:`Adam`) and losses
+* engine policy (:func:`no_grad`, default dtype, kernel selection) in
+  :mod:`repro.autograd.engine`
 """
 
+from repro.autograd.engine import (
+    default_dtype,
+    enable_grad,
+    get_default_dtype,
+    is_grad_enabled,
+    legacy_kernels,
+    no_grad,
+    set_default_dtype,
+)
 from repro.autograd.gradcheck import check_gradients, numerical_gradient
 from repro.autograd.layers import MLP, Dropout, Embedding, Linear
 from repro.autograd.losses import (
@@ -51,4 +62,11 @@ __all__ = [
     "segment_count",
     "check_gradients",
     "numerical_gradient",
+    "no_grad",
+    "enable_grad",
+    "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+    "legacy_kernels",
 ]

@@ -1,12 +1,16 @@
 """Weight initialisation schemes.
 
 All initialisers take an explicit :class:`numpy.random.Generator` so model
-construction is fully deterministic given a seed.
+construction is fully deterministic given a seed.  Draws happen in float64
+(so the random stream is identical across dtype policies) and are cast to
+the engine default dtype (see :mod:`repro.autograd.engine`).
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.autograd.engine import get_default_dtype
 
 
 def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
@@ -16,7 +20,7 @@ def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) ->
     else:
         fan_in, fan_out = shape[0], shape[1]
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(get_default_dtype())
 
 
 def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
@@ -26,12 +30,12 @@ def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> 
     else:
         fan_in, fan_out = shape[0], shape[1]
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(get_default_dtype())
 
 
 def uniform(shape: tuple, rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
-    return rng.uniform(low, high, size=shape)
+    return rng.uniform(low, high, size=shape).astype(get_default_dtype())
 
 
 def zeros(shape: tuple) -> np.ndarray:
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=get_default_dtype())

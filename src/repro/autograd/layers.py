@@ -6,7 +6,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.autograd import init, ops
+from repro.autograd import engine, init, ops
 from repro.autograd.module import Module, ModuleList, Parameter
 from repro.autograd.segment import gather
 from repro.autograd.tensor import Tensor
@@ -53,7 +53,9 @@ class Embedding(Module):
         if scale is None:
             data = init.xavier_normal((num_embeddings, embedding_dim), rng)
         else:
-            data = rng.normal(0.0, scale, size=(num_embeddings, embedding_dim))
+            data = rng.normal(0.0, scale, size=(num_embeddings, embedding_dim)).astype(
+                engine.get_default_dtype()
+            )
         self.weight = Parameter(data, name="embedding")
 
     def forward(self, index) -> Tensor:

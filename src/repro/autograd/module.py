@@ -109,7 +109,7 @@ class Module:
                 f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
             )
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.shape}, got {value.shape}"

@@ -11,12 +11,20 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.autograd.engine import is_grad_enabled
 from repro.autograd.tensor import ArrayLike, Tensor, as_tensor, unbroadcast
 
 TensorLike = Union[Tensor, ArrayLike]
 
 
 def _needs_graph(*tensors: Tensor) -> bool:
+    """Whether an op must record a backward closure for these inputs.
+
+    Always ``False`` inside :class:`repro.autograd.engine.no_grad` — the
+    eval/serving fast path allocates no autograd bookkeeping at all.
+    """
+    if not is_grad_enabled():
+        return False
     return any(t.requires_grad or t._backward_fn is not None for t in tensors)
 
 
@@ -118,6 +126,108 @@ def matmul(a: TensorLike, b: TensorLike) -> Tensor:
     return Tensor(out_data, parents=(a, b), backward_fn=backward)
 
 
+def _type_blocks(types: np.ndarray):
+    """Stable sort of ``types`` into contiguous per-type blocks.
+
+    Returns ``(order, starts, ends, block_types)`` where ``order`` is
+    ``None`` when ``types`` is already sorted (no permutation needed).
+    Also the run-decomposition kernel behind
+    :func:`repro.autograd.segment._sorted_runs`.
+    """
+    m = len(types)
+    if m and np.any(types[1:] < types[:-1]):
+        order = np.argsort(types, kind="stable")
+        sorted_types = types[order]
+    else:
+        order = None
+        sorted_types = types
+    if m == 0:
+        starts = np.empty(0, dtype=np.int64)
+    else:
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_types[1:] != sorted_types[:-1]))
+        )
+    ends = np.concatenate((starts[1:], [m])).astype(np.int64)
+    return order, starts, ends, sorted_types[starts] if m else sorted_types
+
+
+def typed_matmul(x: TensorLike, weights: TensorLike, types) -> Tensor:
+    """Per-row typed linear map: ``out[i] = x[i] @ weights[types[i]]``.
+
+    The batched replacement for a per-type mask/matmul/concat loop: rows
+    are grouped by type with one stable argsort (skipped when ``types`` is
+    already sorted), each group hits a single BLAS matmul against its
+    type's ``(dim_in, dim_out)`` weight slice, and results scatter back to
+    input order.  The backward is fused the same way — one grouped pass
+    produces both ``grad_x`` and the stacked ``grad_weights``.
+    """
+    x, weights = as_tensor(x), as_tensor(weights)
+    types = np.asarray(types, dtype=np.int64)
+    if x.ndim != 2 or weights.ndim != 3:
+        raise ValueError(
+            f"typed_matmul expects x (m, d_in) and weights (T, d_in, d_out), "
+            f"got {x.shape} and {weights.shape}"
+        )
+    if len(types) != x.shape[0]:
+        raise ValueError(f"types length {len(types)} != rows {x.shape[0]}")
+    num_types = weights.shape[0]
+    if types.size and (types.min() < 0 or types.max() >= num_types):
+        raise ValueError("type id out of range")
+
+    order, starts, ends, block_types = _type_blocks(types)
+    xs = x.data if order is None else x.data[order]
+    out_dtype = np.result_type(x.data.dtype, weights.data.dtype)
+    out_sorted = np.empty((x.shape[0], weights.shape[2]), dtype=out_dtype)
+    for t, s, e in zip(block_types, starts, ends):
+        np.matmul(xs[s:e], weights.data[t], out=out_sorted[s:e])
+    if order is None:
+        out_data = out_sorted
+    else:
+        out_data = np.empty_like(out_sorted)
+        out_data[order] = out_sorted
+    if not _needs_graph(x, weights):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray):
+        grad_sorted = grad if order is None else grad[order]
+        grad_x_sorted = np.empty(x.shape, dtype=np.result_type(grad.dtype, out_dtype))
+        grad_w = np.zeros_like(weights.data)
+        for t, s, e in zip(block_types, starts, ends):
+            np.matmul(grad_sorted[s:e], weights.data[t].T, out=grad_x_sorted[s:e])
+            grad_w[t] = xs[s:e].T @ grad_sorted[s:e]
+        if order is None:
+            grad_x = grad_x_sorted
+        else:
+            grad_x = np.empty_like(grad_x_sorted)
+            grad_x[order] = grad_x_sorted
+        return grad_x, grad_w
+
+    return Tensor(out_data, parents=(x, weights), backward_fn=backward)
+
+
+def legacy_typed_matmul(x: TensorLike, weights: TensorLike, types) -> Tensor:
+    """Reference :func:`typed_matmul`: the original per-type mask/matmul/
+    concat/reorder composition of existing differentiable ops.  Kept for
+    the equivalence property suite and benchmark contenders."""
+    x, weights = as_tensor(x), as_tensor(weights)
+    types = np.asarray(types, dtype=np.int64)
+    parts = []
+    order_parts = []
+    for t in range(weights.shape[0]):
+        idx = np.nonzero(types == t)[0]
+        if not len(idx):
+            continue
+        parts.append(matmul(index_select(x, idx), index_select(weights, t)))
+        order_parts.append(idx)
+    if not parts:
+        return Tensor(np.zeros((0, weights.shape[2]), dtype=x.data.dtype))
+    order = np.concatenate(order_parts)
+    stacked = concat(parts, axis=0)
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(len(order))
+    return index_select(stacked, inverse)
+
+
 def transpose(a: Tensor) -> Tensor:
     a = as_tensor(a)
     out_data = a.data.T
@@ -188,7 +298,7 @@ def max_along(a: Tensor, axis: int, keepdims: bool = False) -> Tensor:
     if not _needs_graph(a):
         return Tensor(out_data)
     expanded = a.data.max(axis=axis, keepdims=True)
-    mask = a.data == expanded
+    mask = (a.data == expanded).astype(a.data.dtype)
     # Normalise so ties share the gradient.
     mask = mask / mask.sum(axis=axis, keepdims=True)
 
@@ -221,7 +331,11 @@ def leaky_relu(a: Tensor, negative_slope: float = 0.2) -> Tensor:
         return Tensor(out_data)
 
     def backward(grad: np.ndarray):
-        return (grad * np.where(a.data > 0.0, 1.0, negative_slope),)
+        # Slope mask in the input dtype, so float32 grads stay float32.
+        slope = np.where(a.data > 0.0, 1.0, negative_slope).astype(
+            a.data.dtype, copy=False
+        )
+        return (grad * slope,)
 
     return Tensor(out_data, parents=(a,), backward_fn=backward)
 
@@ -397,7 +511,9 @@ def dropout(a: Tensor, rate: float, rng: np.random.Generator, training: bool = T
         return a
     if rate >= 1.0:
         raise ValueError("dropout rate must be < 1")
-    keep = (rng.random(a.shape) >= rate) / (1.0 - rate)
+    keep = ((rng.random(a.shape) >= rate) / (1.0 - rate)).astype(
+        a.data.dtype, copy=False
+    )
     out_data = a.data * keep
     if not _needs_graph(a):
         return Tensor(out_data)
@@ -431,8 +547,11 @@ def maximum(a: TensorLike, b: TensorLike) -> Tensor:
     ties = a.data == b.data
 
     def backward(grad: np.ndarray):
-        grad_a = grad * (a_wins + 0.5 * ties)
-        grad_b = grad * (~a_wins & ~ties) + grad * 0.5 * ties
+        # Subgradient weights in the output dtype (bool-array arithmetic
+        # with python floats would silently promote grads to float64).
+        half_ties = np.asarray(0.5, dtype=out_data.dtype) * ties
+        grad_a = grad * (a_wins + half_ties)
+        grad_b = grad * (~a_wins & ~ties) + grad * half_ties
         return unbroadcast(grad_a, a.shape), unbroadcast(grad_b, b.shape)
 
     return Tensor(out_data, parents=(a, b), backward_fn=backward)

@@ -17,16 +17,25 @@ from repro.autograd.module import Parameter
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in-place so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clip norm (useful for logging / divergence detection).
+    The squared norm comes from one dot product over the concatenated
+    (raveled) gradients instead of a Python-level sum of per-parameter
+    scalars.  Returns the pre-clip norm (useful for logging / divergence
+    detection).
     """
-    params = [p for p in parameters if p.grad is not None]
-    if not params:
+    grads = [p.grad for p in parameters if p.grad is not None]
+    if not grads:
         return 0.0
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    flat = (
+        grads[0].ravel()
+        if len(grads) == 1
+        else np.concatenate([g.ravel() for g in grads])
+    )
+    flat = flat.astype(np.float64, copy=False)
+    total = float(np.sqrt(flat @ flat))
     if total > max_norm and total > 0.0:
         scale = max_norm / total
-        for p in params:
-            p.grad = p.grad * scale
+        for grad in grads:
+            grad *= scale
     return total
 
 
@@ -107,8 +116,15 @@ class Adam(Optimizer):
             grad = param.grad
             if self.weight_decay > 0.0:
                 grad = grad + self.weight_decay * param.data
-            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
-            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad**2
-            m_hat = self._m[i] / bias1
-            v_hat = self._v[i] / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # Moment buffers update in place; the bias-corrected update is
+            # folded into one scratch array instead of m_hat/v_hat copies.
+            m, v = self._m[i], self._v[i]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(grad)
+            denom = np.sqrt(v / bias2)
+            denom += self.eps
+            np.divide(m, denom, out=denom)
+            denom *= self.lr / bias1
+            param.data -= denom

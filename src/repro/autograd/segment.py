@@ -9,12 +9,29 @@ three primitives over a flat list of messages tagged by segment ids:
 * :func:`segment_softmax`— normalise attention logits within each segment.
 
 All are differentiable; ``segment_sum``'s backward is a gather and vice versa.
+
+Two kernel families implement the scatter reductions:
+
+* the **fast kernels** (default) sort rows by segment id once (a stable
+  argsort, skipped when ids are already sorted) and reduce contiguous runs
+  with ``np.add.reduceat`` / ``np.maximum.reduceat``; 1-D reductions use
+  ``np.bincount``.  Each segment reduces over its rows in their original
+  order — bitwise-equal to the scatter kernels for the 1-D paths, within a
+  few ULPs for the 2-D ``reduceat`` paths (numpy may re-associate the
+  additions);
+* the **legacy kernels** are the original ``np.add.at`` buffered-scatter
+  implementations, kept verbatim as ``legacy_*`` references — the
+  equivalence property suite (``tests/test_kernel_equivalence.py``) and the
+  benchmark contenders run against them, selected engine-wide via
+  :func:`repro.autograd.engine.legacy_kernels`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.autograd.engine import fast_kernels_enabled
+from repro.autograd.ops import _needs_graph
 from repro.autograd.tensor import Tensor, as_tensor
 
 
@@ -26,15 +43,106 @@ def _check_segment_ids(segment_ids: np.ndarray, num_rows: int) -> np.ndarray:
         raise ValueError(
             f"segment_ids length {len(segment_ids)} != number of rows {num_rows}"
         )
+    if segment_ids.size and segment_ids.min() < 0:
+        raise ValueError("segment ids must be non-negative")
     return segment_ids
 
 
+def _sorted_runs(segment_ids: np.ndarray):
+    """Stable sort of ``segment_ids`` into contiguous runs.
+
+    Returns ``(order, starts, run_ids)``; ``order`` is ``None`` when the
+    ids are already sorted (the permutation can be skipped).  Shares the
+    run-decomposition kernel with :func:`repro.autograd.ops.typed_matmul`.
+    """
+    from repro.autograd.ops import _type_blocks
+
+    order, starts, _ends, run_ids = _type_blocks(segment_ids)
+    return order, starts, run_ids
+
+
+def _segment_sum_array(
+    values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sort-based unsorted-segment-sum on raw arrays (fast kernel core).
+
+    Within each segment, rows are summed in their original order — the
+    same sequence as ``np.add.at``, so results agree with the legacy
+    scatter kernel to within numpy's reduction re-association (a few ULPs;
+    bitwise on the 1-D ``bincount`` path).
+    """
+    out_shape = (num_segments,) + values.shape[1:]
+    n = len(segment_ids)
+    if n == 0:
+        return np.zeros(out_shape, dtype=values.dtype)
+    if values.ndim == 1:
+        out = np.bincount(segment_ids, weights=values, minlength=num_segments)
+        return out.astype(values.dtype, copy=False)
+    if values.ndim == 2 and values.shape[1] <= 64:
+        # Per-column bincount beats sort+reduceat except on large
+        # already-sorted inputs (measured crossover ~16k rows), and keeps
+        # the exact np.add.at accumulation order.
+        use_reduceat = n >= 16384 and not np.any(segment_ids[1:] < segment_ids[:-1])
+        if not use_reduceat:
+            out = np.empty(out_shape, dtype=values.dtype)
+            for column in range(values.shape[1]):
+                out[:, column] = np.bincount(
+                    segment_ids, weights=values[:, column], minlength=num_segments
+                )
+            return out
+    order, starts, run_ids = _sorted_runs(segment_ids)
+    sorted_values = values if order is None else values[order]
+    out = np.zeros(out_shape, dtype=values.dtype)
+    out[run_ids] = np.add.reduceat(sorted_values, starts, axis=0)
+    return out
+
+
+def _segment_max_array(
+    values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Sort-based per-segment max; empty segments come back as ``-inf``."""
+    out = np.full((num_segments,) + values.shape[1:], -np.inf, dtype=values.dtype)
+    if len(segment_ids) == 0:
+        return out
+    order, starts, run_ids = _sorted_runs(segment_ids)
+    sorted_values = values if order is None else values[order]
+    out[run_ids] = np.maximum.reduceat(sorted_values, starts, axis=0)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Gather
+# ---------------------------------------------------------------------------
 def gather(a: Tensor, index) -> Tensor:
-    """Row gather ``a[index]`` with scatter-add backward."""
+    """Row gather ``a[index]`` with (sort-based) scatter-add backward."""
+    if not fast_kernels_enabled():
+        return legacy_gather(a, index)
     a = as_tensor(a)
     index = np.asarray(index, dtype=np.int64)
     out_data = a.data[index]
-    if not (a.requires_grad or a._backward_fn is not None):
+    if not _needs_graph(a):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray):
+        if index.ndim != 1 or (index.size and index.min() < 0):
+            # Rare generic-indexing path: keep the scatter kernel.
+            grad_a = np.zeros_like(a.data)
+            np.add.at(grad_a, index, grad)
+            return (grad_a,)
+        grad_a = _segment_sum_array(grad, index, a.shape[0])
+        if grad_a.dtype != a.data.dtype:
+            grad_a = grad_a.astype(a.data.dtype)
+        return (grad_a,)
+
+    return Tensor(out_data, parents=(a,), backward_fn=backward)
+
+
+def legacy_gather(a: Tensor, index) -> Tensor:
+    """Reference gather: ``np.add.at`` scatter backward (legacy kernel)."""
+    a = as_tensor(a)
+    index = np.asarray(index, dtype=np.int64)
+    out_data = a.data[index]
+    if not _needs_graph(a):
         return Tensor(out_data)
 
     def backward(grad: np.ndarray):
@@ -45,12 +153,34 @@ def gather(a: Tensor, index) -> Tensor:
     return Tensor(out_data, parents=(a,), backward_fn=backward)
 
 
+# ---------------------------------------------------------------------------
+# Segment sum / mean
+# ---------------------------------------------------------------------------
 def segment_sum(values: Tensor, segment_ids, num_segments: int) -> Tensor:
     """Sum rows of ``values`` into ``num_segments`` buckets.
 
     ``out[s] = sum(values[i] for i where segment_ids[i] == s)``; empty
-    segments yield zero rows.
+    segments yield zero rows.  Output dtype follows the input dtype.
     """
+    if not fast_kernels_enabled():
+        return legacy_segment_sum(values, segment_ids, num_segments)
+    values = as_tensor(values)
+    segment_ids = _check_segment_ids(segment_ids, values.shape[0])
+    if segment_ids.size and segment_ids.max() >= num_segments:
+        raise ValueError("segment id exceeds num_segments")
+    out_data = _segment_sum_array(values.data, segment_ids, num_segments)
+    if not _needs_graph(values):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray):
+        return (grad[segment_ids],)
+
+    return Tensor(out_data, parents=(values,), backward_fn=backward)
+
+
+def legacy_segment_sum(values: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Reference segment sum: ``np.add.at`` into a float64 accumulator
+    (the pre-dtype-policy behaviour, kept verbatim)."""
     values = as_tensor(values)
     segment_ids = _check_segment_ids(segment_ids, values.shape[0])
     if segment_ids.size and segment_ids.max() >= num_segments:
@@ -58,7 +188,7 @@ def segment_sum(values: Tensor, segment_ids, num_segments: int) -> Tensor:
     out_shape = (num_segments,) + values.shape[1:]
     out_data = np.zeros(out_shape, dtype=np.float64)
     np.add.at(out_data, segment_ids, values.data)
-    if not (values.requires_grad or values._backward_fn is not None):
+    if not _needs_graph(values):
         return Tensor(out_data)
 
     def backward(grad: np.ndarray):
@@ -71,29 +201,42 @@ def segment_mean(values: Tensor, segment_ids, num_segments: int) -> Tensor:
     """Mean over each segment; empty segments yield zeros."""
     values = as_tensor(values)
     segment_ids = _check_segment_ids(segment_ids, values.shape[0])
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(
+        values.data.dtype
+    )
     counts = np.maximum(counts, 1.0)
     summed = segment_sum(values, segment_ids, num_segments)
     inv = (1.0 / counts).reshape((num_segments,) + (1,) * (values.ndim - 1))
     from repro.autograd import ops
 
-    return ops.mul(summed, inv)
+    return ops.mul(summed, inv.astype(summed.data.dtype, copy=False))
 
 
-def segment_max_constant(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+def segment_max_constant(
+    values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+) -> np.ndarray:
     """Per-segment max computed on raw arrays (used as a stop-gradient shift)."""
-    out = np.full((num_segments,) + values.shape[1:], -np.inf)
-    np.maximum.at(out, segment_ids, values)
+    if not fast_kernels_enabled():
+        out = np.full((num_segments,) + values.shape[1:], -np.inf)
+        np.maximum.at(out, segment_ids, values)
+        out[np.isneginf(out)] = 0.0
+        return out
+    out = _segment_max_array(values, segment_ids, num_segments)
     out[np.isneginf(out)] = 0.0
     return out
 
 
+# ---------------------------------------------------------------------------
+# Segment softmax
+# ---------------------------------------------------------------------------
 def segment_softmax(logits: Tensor, segment_ids, num_segments: int) -> Tensor:
     """Softmax over each segment of a 1-D logits tensor.
 
     The max-shift for numerical stability is treated as a constant
     (the standard stop-gradient trick); the softmax Jacobian is exact.
     """
+    if not fast_kernels_enabled():
+        return legacy_segment_softmax(logits, segment_ids, num_segments)
     logits = as_tensor(logits)
     if logits.ndim != 1:
         raise ValueError("segment_softmax expects 1-D logits")
@@ -102,16 +245,45 @@ def segment_softmax(logits: Tensor, segment_ids, num_segments: int) -> Tensor:
     shift = segment_max_constant(logits.data, segment_ids, num_segments)
     shifted = logits.data - shift[segment_ids]
     exps = np.exp(np.clip(shifted, -60.0, 60.0))
+    denom = np.bincount(segment_ids, weights=exps, minlength=num_segments)
+    denom = np.maximum(denom, 1e-12).astype(exps.dtype, copy=False)
+    out_data = exps / denom[segment_ids]
+
+    if not _needs_graph(logits):
+        return Tensor(out_data)
+
+    def backward(grad: np.ndarray):
+        # d softmax_i / d logit_j = p_i (delta_ij - p_j) within a segment.
+        weighted = grad * out_data
+        seg_dot = np.bincount(
+            segment_ids, weights=weighted, minlength=num_segments
+        ).astype(weighted.dtype, copy=False)
+        return (weighted - out_data * seg_dot[segment_ids],)
+
+    return Tensor(out_data, parents=(logits,), backward_fn=backward)
+
+
+def legacy_segment_softmax(logits: Tensor, segment_ids, num_segments: int) -> Tensor:
+    """Reference segment softmax: ``np.add.at`` scatter normalisers."""
+    logits = as_tensor(logits)
+    if logits.ndim != 1:
+        raise ValueError("segment_softmax expects 1-D logits")
+    segment_ids = _check_segment_ids(segment_ids, logits.shape[0])
+
+    shift = np.full(num_segments, -np.inf)
+    np.maximum.at(shift, segment_ids, logits.data)
+    shift[np.isneginf(shift)] = 0.0
+    shifted = logits.data - shift[segment_ids]
+    exps = np.exp(np.clip(shifted, -60.0, 60.0))
     denom = np.zeros(num_segments, dtype=np.float64)
     np.add.at(denom, segment_ids, exps)
     denom = np.maximum(denom, 1e-12)
     out_data = exps / denom[segment_ids]
 
-    if not (logits.requires_grad or logits._backward_fn is not None):
+    if not _needs_graph(logits):
         return Tensor(out_data)
 
     def backward(grad: np.ndarray):
-        # d softmax_i / d logit_j = p_i (delta_ij - p_j) within a segment.
         weighted = grad * out_data
         seg_dot = np.zeros(num_segments, dtype=np.float64)
         np.add.at(seg_dot, segment_ids, weighted)

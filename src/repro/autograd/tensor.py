@@ -17,16 +17,24 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.autograd.engine import get_default_dtype
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
-    """Coerce scalars / sequences to a float64 numpy array."""
-    if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
-        return value
-    return np.asarray(value, dtype=np.float64)
+    """Coerce ``value`` to a float numpy array under the engine dtype policy.
+
+    ``float32``/``float64`` arrays keep their dtype (so explicit-precision
+    inputs — gradcheck suites, float64 references — are never silently
+    downcast); everything else (scalars, sequences, integer arrays) is
+    converted to the engine default dtype.
+    """
+    if isinstance(value, (np.ndarray, np.generic)):
+        if value.dtype == np.float32 or value.dtype == np.float64:
+            return np.asarray(value)
+        return np.asarray(value, dtype=get_default_dtype())
+    return np.asarray(value, dtype=get_default_dtype())
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -54,7 +62,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64``.
+        Array-like payload; converted to a float array under the engine
+        dtype policy (see :mod:`repro.autograd.engine`).
     requires_grad:
         Whether gradients should be accumulated into ``.grad`` during
         :meth:`backward`.

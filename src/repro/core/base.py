@@ -21,7 +21,7 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.autograd import Module, Tensor, ops
+from repro.autograd import Module, Tensor, no_grad, ops
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
 
@@ -186,10 +186,12 @@ class SubgraphScoringModel(Module):
         was_training = self.training
         self.eval()
         try:
-            values = [
-                float(self.score_sample(sample).data.reshape(-1)[0])
-                for sample in self.prepared_many(graph, triples)
-            ]
+            # No-grad: eval scoring builds no backward graph at all.
+            with no_grad():
+                values = [
+                    float(self.score_sample(sample).data.reshape(-1)[0])
+                    for sample in self.prepared_many(graph, triples)
+                ]
         finally:
             if was_training:
                 self.train()

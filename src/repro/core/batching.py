@@ -95,6 +95,12 @@ def merge_plans(plans: Sequence[MessagePlan]) -> BatchedPlan:
         merged_edges[:, 0] += shift
         merged_edges[:, 2] += shift
         merged_targets = np.repeat(target_indices, edge_counts)
+        # Pre-group by edge type (stable, so each sample's edges keep their
+        # relative order): the typed-linear matmul then consumes the batch
+        # without re-sorting, once per merged plan instead of per step.
+        type_order = np.argsort(merged_edges[:, 1], kind="stable")
+        merged_edges = merged_edges[type_order]
+        merged_targets = merged_targets[type_order]
         layers.append(BatchedLayer(edges=merged_edges, edge_targets=merged_targets))
 
     return BatchedPlan(

@@ -42,7 +42,9 @@ class DisclosingAggregator(Module):
         Returns a ``(1, dim)`` tensor; zeros when there are no neighbors.
         """
         if neighbor_embeddings.shape[0] == 0:
-            return Tensor(np.zeros((1, self.dim)))
+            return Tensor(
+                np.zeros((1, self.dim), dtype=target_embedding.data.dtype)
+            )
         n = neighbor_embeddings.shape[0]
         return self.forward_batched(
             neighbor_embeddings, np.zeros(n, dtype=np.int64), target_embedding
@@ -72,7 +74,11 @@ class DisclosingAggregator(Module):
         """
         num_targets = target_embeddings.shape[0]
         if neighbor_embeddings.shape[0] == 0:
-            return Tensor(np.zeros((num_targets, self.dim)))
+            return Tensor(
+                np.zeros(
+                    (num_targets, self.dim), dtype=target_embeddings.data.dtype
+                )
+            )
         transformed = ops.matmul(neighbor_embeddings, self.weight)  # W_d h0_ri
         target_proj = ops.matmul(target_embeddings, self.weight)  # W_d h0_rt
         per_neighbor_target = gather(target_proj, segment_ids)

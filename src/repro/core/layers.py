@@ -12,6 +12,13 @@ no incoming edge rows (the :class:`~repro.subgraph.pruning.MessagePlan`
 filtered them), so their aggregate is zero and the residual leaves them
 unchanged — realising Algorithm 1's shrinking frontier without indexing
 gymnastics.
+
+The per-edge-type transforms ``W_e`` (eq. 6) live in ONE stacked
+``(NUM_EDGE_TYPES, dim, dim)`` parameter and are applied by
+:func:`repro.autograd.ops.typed_matmul` — a single sort-by-type batched
+matmul with a fused backward, replacing the original mask/matmul/concat/
+reorder loop (kept below as the legacy reference path, selected engine-wide
+via :func:`repro.autograd.engine.legacy_kernels`).
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.autograd import Module, Parameter, Tensor
-from repro.autograd import ops
+from repro.autograd import engine, ops
 from repro.autograd.init import xavier_uniform
 from repro.autograd.segment import gather, segment_count, segment_softmax, segment_sum
 from repro.subgraph.linegraph import NUM_EDGE_TYPES
@@ -33,11 +40,16 @@ class RelationalMessagePassingLayer(Module):
     def __init__(self, dim: int, rng: np.random.Generator) -> None:
         super().__init__()
         self.dim = dim
-        # One transform W_e per connection-pattern type (eq. 6).
-        self.type_weights = [
-            Parameter(xavier_uniform((dim, dim), rng), name=f"W_e{e}")
-            for e in range(NUM_EDGE_TYPES)
-        ]
+        # One transform W_e per connection-pattern type (eq. 6), stacked
+        # into a single (T, dim, dim) parameter for the fused typed matmul.
+        # Per-slice Xavier draws keep the rng stream (and init statistics)
+        # identical to the historical per-type parameters.
+        self.weight = Parameter(
+            np.stack(
+                [xavier_uniform((dim, dim), rng) for _ in range(NUM_EDGE_TYPES)]
+            ),
+            name="W_types",
+        )
 
     def forward(
         self,
@@ -89,52 +101,71 @@ class RelationalMessagePassingLayer(Module):
         num_nodes = features.shape[0]
         src, etype, dst = edges[:, 0], edges[:, 1], edges[:, 2]
 
-        # Per-edge-type linear transforms, re-assembled in edge order.
-        message_parts: List[Tensor] = []
-        order_parts: List[np.ndarray] = []
-        for edge_type in range(NUM_EDGE_TYPES):
-            mask = etype == edge_type
-            if not mask.any():
-                continue
-            idx = np.nonzero(mask)[0]
-            h_src = gather(features, src[idx])
-            message_parts.append(ops.matmul(h_src, self.type_weights[edge_type]))
-            order_parts.append(idx)
-        order = np.concatenate(order_parts)
-        messages = ops.concat(message_parts, axis=0)
-        dst_ordered = dst[order]
-        src_ordered = src[order]
-        etype_ordered = etype[order]
+        h_src: Optional[Tensor] = None
+        if engine.fast_kernels_enabled():
+            # Fused path: one gather + one typed matmul over type-grouped
+            # edges.  Adopting the sorted order up front (a no-op for
+            # batched plans, which arrive pre-sorted from merge_plans) lets
+            # typed_matmul skip its scatter-back permutation entirely.
+            if len(etype) > 1 and np.any(etype[1:] < etype[:-1]):
+                order = np.argsort(etype, kind="stable")
+                src, etype, dst = src[order], etype[order], dst[order]
+                if edge_targets is not None:
+                    edge_targets = edge_targets[order]
+            h_src = gather(features, src)
+            messages = ops.typed_matmul(h_src, self.weight, etype)
+        else:
+            # Legacy reference: per-edge-type mask/matmul, re-assembled in
+            # type-grouped order (the original loop, kept for equivalence
+            # tests and benchmark contenders).
+            message_parts: List[Tensor] = []
+            order_parts: List[np.ndarray] = []
+            for edge_type in range(NUM_EDGE_TYPES):
+                mask = etype == edge_type
+                if not mask.any():
+                    continue
+                idx = np.nonzero(mask)[0]
+                h_part = gather(features, src[idx])
+                message_parts.append(
+                    ops.matmul(h_part, ops.index_select(self.weight, edge_type))
+                )
+                order_parts.append(idx)
+            order = np.concatenate(order_parts)
+            messages = ops.concat(message_parts, axis=0)
+            src, etype, dst = src[order], etype[order], dst[order]
+            if edge_targets is not None:
+                edge_targets = edge_targets[order]
 
         if is_last:
             # Eq. 9: equal aggregation — plain sum of transformed neighbors.
-            aggregated = segment_sum(messages, dst_ordered, num_nodes)
+            aggregated = segment_sum(messages, dst, num_nodes)
         else:
             # Attention groups: neighbors of the same destination under the
             # same edge type (the N^e_ri of eq. 7).
-            groups = dst_ordered * NUM_EDGE_TYPES + etype_ordered
+            groups = dst * NUM_EDGE_TYPES + etype
             num_groups = num_nodes * NUM_EDGE_TYPES
             if use_attention:
-                h_src_raw = gather(features, src_ordered)
+                if h_src is None:
+                    h_src = gather(features, src)
                 if edge_targets is not None:
-                    target_row = gather(features, edge_targets[order])
+                    target_row = gather(features, edge_targets)
                 else:
                     target_row = gather(features, np.asarray([target_index]))
                 # Dot-product similarity with the target's previous-layer
                 # representation, passed through LeakyReLU (eq. 7).
-                logits = ops.sum(
-                    ops.mul(h_src_raw, target_row), axis=1
-                )
+                logits = ops.sum(ops.mul(h_src, target_row), axis=1)
                 if attention_kind == "scaled_dot":
                     logits = ops.mul(logits, 1.0 / np.sqrt(self.dim))
                 logits = ops.leaky_relu(logits, negative_slope=0.2)
                 alpha = segment_softmax(logits, groups, num_groups)
-                weights = ops.reshape(alpha, (len(order), 1))
+                weights = ops.reshape(alpha, (len(dst), 1))
             else:
-                counts = segment_count(groups, num_groups).astype(np.float64)
+                counts = segment_count(groups, num_groups).astype(
+                    features.data.dtype
+                )
                 inv = 1.0 / np.maximum(counts[groups], 1.0)
                 weights = Tensor(inv.reshape(-1, 1))
-            aggregated = segment_sum(ops.mul(messages, weights), dst_ordered, num_nodes)
+            aggregated = segment_sum(ops.mul(messages, weights), dst, num_nodes)
 
         # σ1 = ReLU on the aggregate (eq. 6), residual combine (eqs. 8/9).
         return ops.add(ops.relu(aggregated), features)

@@ -20,12 +20,13 @@ mechanism.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.autograd import ModuleList, Tensor, ops
+from repro.autograd import ModuleList, Tensor, no_grad, ops
 from repro.autograd.segment import gather
 from repro.core.base import SubgraphScoringModel
 from repro.core.config import RMPIConfig
@@ -105,6 +106,12 @@ class RMPI(SubgraphScoringModel):
             use_disclosing=self.config.use_disclosing,
             clue_dim=clue_dim,
         )
+        # Bounded LRU of merge_plans outputs keyed by the identity of the
+        # (memoised) per-sample plans: epochs and serving loops that revisit
+        # the same batch skip the disjoint-union merge entirely.  Values
+        # keep the plan objects alive so ids can never be recycled.
+        self._merge_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._merge_cache_size = 64
 
     # ------------------------------------------------------------------
     def prepare(self, graph: KnowledgeGraph, triple: Triple) -> RMPISample:
@@ -190,12 +197,19 @@ class RMPI(SubgraphScoringModel):
             if neighbors is not None and len(neighbors):
                 neighbor_embeddings = self.embedding(neighbors)
             else:
-                neighbor_embeddings = Tensor(np.zeros((0, self.config.embed_dim)))
+                neighbor_embeddings = Tensor(
+                    np.zeros(
+                        (0, self.config.embed_dim),
+                        dtype=target_embedding.data.dtype,
+                    )
+                )
             disclosing_repr = self.ne(neighbor_embeddings, target_embedding)
 
         entity_clue: Optional[Tensor] = None
         if self.config.use_entity_clues and sample.entity_clue is not None:
-            entity_clue = Tensor(sample.entity_clue)
+            entity_clue = Tensor(
+                np.asarray(sample.entity_clue, dtype=enclosing_repr.data.dtype)
+            )
 
         return self.head(enclosing_repr, disclosing_repr, entity_clue)
 
@@ -208,12 +222,10 @@ class RMPI(SubgraphScoringModel):
         dispatch overhead across the batch.  Returns an ``(n, 1)`` tensor
         ordered like ``samples``.
         """
-        from repro.core.batching import merge_plans
-
         samples = list(samples)
         if not samples:
             raise ValueError("empty batch")
-        batched = merge_plans([sample.plan for sample in samples])
+        batched = self._merged_plan(samples)
         features = self.embedding(batched.node_relations)
         num_layers = len(self.layers)
         for k, layer in enumerate(self.layers):
@@ -262,7 +274,12 @@ class RMPI(SubgraphScoringModel):
                 )
                 neighbor_embeddings = self.embedding(all_neighbors)
             else:
-                neighbor_embeddings = Tensor(np.zeros((0, self.config.embed_dim)))
+                neighbor_embeddings = Tensor(
+                    np.zeros(
+                        (0, self.config.embed_dim),
+                        dtype=target_embeddings.data.dtype,
+                    )
+                )
             segment_ids = np.repeat(np.arange(len(samples), dtype=np.int64), counts)
             disclosing = self.ne.forward_batched(
                 neighbor_embeddings, segment_ids, target_embeddings
@@ -273,9 +290,35 @@ class RMPI(SubgraphScoringModel):
             clues = np.concatenate(
                 [sample.entity_clue for sample in samples], axis=0
             )
-            entity_clue = Tensor(clues)
+            entity_clue = Tensor(clues.astype(enclosing.data.dtype, copy=False))
 
         return self.head(enclosing, disclosing, entity_clue)
+
+    def _merged_plan(self, samples):
+        """Memoised :func:`~repro.core.batching.merge_plans` over the
+        (already-memoised) per-sample plans, keyed by plan identity.
+
+        Only populated in eval mode: those are the batches that actually
+        repeat (ranking candidate lists, coalesced serving queries,
+        benchmarks).  Training batches reshuffle and re-sample negatives
+        every step, so caching there would only pin dead plans.
+        """
+        from repro.core.batching import merge_plans
+
+        key = tuple(id(sample.plan) for sample in samples)
+        hit = self._merge_cache.get(key)
+        if hit is not None:
+            self._merge_cache.move_to_end(key)
+            return hit[1]
+        batched = merge_plans([sample.plan for sample in samples])
+        if not self.training:
+            self._merge_cache[key] = (
+                [sample.plan for sample in samples],
+                batched,
+            )
+            if len(self._merge_cache) > self._merge_cache_size:
+                self._merge_cache.popitem(last=False)
+        return batched
 
     def score_batch_fused(self, graph: KnowledgeGraph, triples) -> Tensor:
         """Prepare (memoised, batch-extracted) and score in one fused pass."""
@@ -295,11 +338,18 @@ class RMPI(SubgraphScoringModel):
         was_training = self.training
         self.eval()
         try:
-            scores = self.score_batch_fused(graph, triples)
+            # No-grad: the serving/eval forward allocates zero backward
+            # closures (see repro.autograd.engine).
+            with no_grad():
+                scores = self.score_batch_fused(graph, triples)
         finally:
             if was_training:
                 self.train()
         return np.asarray(scores.data, dtype=np.float64).reshape(-1)
+
+    def clear_cache(self) -> None:
+        super().clear_cache()
+        self._merge_cache.clear()
 
     # ------------------------------------------------------------------
     @property

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Set
 
 import numpy as np
 
+from repro.autograd import no_grad
 from repro.eval.metrics import average_precision, hits_at, mrr, rank_of_first
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import negative_triples, ranking_candidates
@@ -151,8 +152,12 @@ def evaluate_triple_classification(
         known=known,
         candidate_entities=candidates,
     )
-    pos_scores = model.score_triples(graph, positives)
-    neg_scores = model.score_triples(graph, negatives)
+    # Evaluation never backpropagates: suppress backward-graph
+    # construction for every scorer (subgraph models also no-grad
+    # internally; this covers rule/embedding scorers uniformly).
+    with no_grad():
+        pos_scores = model.score_triples(graph, positives)
+        neg_scores = model.score_triples(graph, negatives)
     labels = [1] * len(positives) + [0] * len(negatives)
     scores = np.concatenate([pos_scores, neg_scores])
     return ClassificationResult(
@@ -191,7 +196,8 @@ def evaluate_entity_prediction(
             candidate_entities=candidates_pool,
             corrupt_head=corrupt_head,
         )
-        scores = model.score_triples(graph, candidates)
+        with no_grad():
+            scores = model.score_triples(graph, candidates)
         ranks.append(rank_of_first(scores))
     return RankingResult(
         mrr=mrr(ranks),

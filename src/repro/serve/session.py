@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.autograd import no_grad
 from repro.eval.protocol import (
     candidate_entity_pool,
     known_fact_set,
@@ -120,7 +121,12 @@ class InferenceSession:
                 if self.use_fused and hasattr(entry.model, "score_triples_fused")
                 else entry.model.score_triples
             )
-            fresh = np.asarray(scorer(self.graph, batch), dtype=np.float64).reshape(-1)
+            # Serving never backpropagates: no-grad keeps the coalesced
+            # batch forward free of autograd bookkeeping.
+            with no_grad():
+                fresh = np.asarray(
+                    scorer(self.graph, batch), dtype=np.float64
+                ).reshape(-1)
             for triple, value in zip(batch, fresh):
                 self.cache.put((entry.key, fingerprint, triple), float(value))
                 for position in missing[triple]:

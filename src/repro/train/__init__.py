@@ -5,6 +5,7 @@ from repro.train.checkpoint import (
     CheckpointMismatchError,
     checkpoint_metadata,
     load_checkpoint,
+    migrate_state_dict,
     resolve_checkpoint_path,
     save_checkpoint,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "train_model",
     "save_checkpoint",
     "load_checkpoint",
+    "migrate_state_dict",
     "checkpoint_metadata",
     "resolve_checkpoint_path",
     "CheckpointMismatchError",

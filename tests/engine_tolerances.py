@@ -1,0 +1,18 @@
+"""Shared dtype-aware tolerance for scoring-path parity assertions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def score_tolerance() -> dict:
+    """Parity tolerance for comparing two scoring paths of the same model.
+
+    Tight under float64; float32 round-off (the engine default) makes
+    path-dependent differences of a few ULPs expected.
+    """
+    from repro.autograd import get_default_dtype
+
+    if get_default_dtype() == np.float64:
+        return {"rtol": 1e-9, "atol": 1e-9}
+    return {"rtol": 3e-5, "atol": 1e-5}

@@ -17,6 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from engine_tolerances import score_tolerance
 from repro.core import RMPI, RMPIConfig
 from repro.kg import KnowledgeGraph, TripleSet
 from repro.subgraph import (
@@ -253,7 +254,7 @@ class TestFusedScoreParity:
         single = np.asarray(
             [float(model.score_sample(s).data.reshape(-1)[0]) for s in samples]
         )
-        np.testing.assert_allclose(fused, single, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(fused, single, **score_tolerance())
 
     def test_ne_gradients_flow_through_batched_aggregator(
         self, tiny_partial_benchmark

@@ -14,6 +14,8 @@ import threading
 import numpy as np
 import pytest
 
+from engine_tolerances import score_tolerance
+
 from repro.core import RMPI, RMPIConfig
 from repro.eval.protocol import candidate_entity_pool, known_fact_set
 from repro.eval.metrics import rank_of_first
@@ -168,7 +170,9 @@ class TestInferenceSession:
         plain = InferenceSession(registry, family_graph, use_fused=False, cache_size=0)
         fused = InferenceSession(registry, family_graph, use_fused=True, cache_size=0)
         triples = [(0, 0, 1), (2, 1, 0), (3, 4, 1), (0, 3, 4)]
-        assert fused.score(triples) == pytest.approx(plain.score(triples), abs=1e-10)
+        assert fused.score(triples) == pytest.approx(
+            plain.score(triples), abs=score_tolerance()["atol"]
+        )
 
     def test_cache_short_circuits_model(self, family_graph):
         registry = _registry(family_graph)
@@ -246,7 +250,7 @@ class TestMicroBatchScheduler:
         assert scheduler.stats.largest_batch_requests == len(triples)
         expected = model.score_triples(family_graph, triples)
         flat = np.concatenate(scores)
-        assert flat == pytest.approx(expected, abs=1e-10)
+        assert flat == pytest.approx(expected, abs=score_tolerance()["atol"])
 
     def test_mixed_model_batch_dispatches_per_model(self, family_graph):
         registry = _registry(family_graph)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, as_tensor
+from repro.autograd import Tensor, as_tensor, default_dtype, get_default_dtype
 from repro.autograd.tensor import unbroadcast
 
 
@@ -11,11 +11,20 @@ class TestConstruction:
     def test_from_list(self):
         t = Tensor([1.0, 2.0, 3.0])
         assert t.shape == (3,)
-        assert t.data.dtype == np.float64
+        assert t.data.dtype == get_default_dtype()
 
     def test_from_int_array_coerces_to_float(self):
         t = Tensor(np.array([1, 2, 3]))
-        assert t.data.dtype == np.float64
+        assert t.data.dtype == get_default_dtype()
+
+    def test_float_arrays_keep_their_dtype(self):
+        assert Tensor(np.zeros(2, dtype=np.float64)).data.dtype == np.float64
+        assert Tensor(np.zeros(2, dtype=np.float32)).data.dtype == np.float32
+
+    def test_default_dtype_override(self):
+        with default_dtype("float64"):
+            assert Tensor([1.0]).data.dtype == np.float64
+        assert Tensor([1.0]).data.dtype == get_default_dtype()
 
     def test_scalar(self):
         t = Tensor(5.0)
