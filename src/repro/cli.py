@@ -32,7 +32,7 @@ from repro.experiments import (
 )
 from repro.kg import build_full_benchmark, build_partial_benchmark
 from repro.kg.analysis import characterise
-from repro.train import TrainingConfig
+from repro.train import ParallelConfig, TrainingConfig
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -48,6 +48,11 @@ def _add_training(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--schema", action="store_true", help="schema-enhanced initialisation")
     parser.add_argument("--fusion", default="sum", choices=["sum", "concat", "gated"])
     parser.add_argument("--negatives", type=int, default=49, help="ranking negatives")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for training batches and eval ranking "
+        "(1 = serial; see README 'Parallel execution')",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-wait-ms", type=float, default=2.0)
     serve.add_argument("--cache-size", type=int, default=65536)
     serve.add_argument(
+        "--workers", type=int, default=1,
+        help="scoring worker processes behind the micro-batching scheduler "
+        "(1 = in-process scoring)",
+    )
+    serve.add_argument(
         "--no-fused", action="store_true",
         help="score through the per-sample path instead of the fused batch forward",
     )
@@ -121,7 +131,10 @@ def cmd_run(args: argparse.Namespace) -> str:
         benchmark,
         args.model,
         TrainingConfig(
-            epochs=args.epochs, seed=args.seed, max_triples_per_epoch=args.max_triples
+            epochs=args.epochs,
+            seed=args.seed,
+            max_triples_per_epoch=args.max_triples,
+            parallel=ParallelConfig(workers=args.workers),
         ),
         seed=args.seed,
         use_schema=args.schema,
@@ -141,7 +154,10 @@ def cmd_full(args: argparse.Namespace) -> str:
         args.model,
         args.setting,
         TrainingConfig(
-            epochs=args.epochs, seed=args.seed, max_triples_per_epoch=args.max_triples
+            epochs=args.epochs,
+            seed=args.seed,
+            max_triples_per_epoch=args.max_triples,
+            parallel=ParallelConfig(workers=args.workers),
         ),
         seed=args.seed,
         use_schema=args.schema,
@@ -191,6 +207,7 @@ def cmd_serve(args: argparse.Namespace) -> str:
         max_wait_ms=args.max_wait_ms,
         cache_size=args.cache_size,
         use_fused=not args.no_fused,
+        workers=args.workers,
     )
     # Serve the inductive benchmark's *testing* graph: queries rank links
     # among entities unseen during training, the paper's core setting.
@@ -207,6 +224,7 @@ def cmd_serve(args: argparse.Namespace) -> str:
         f"max_wait_ms={config.max_wait_ms}",
         f"  score cache: {config.cache_size} entries, "
         f"fused scoring: {config.use_fused}",
+        f"  scoring workers: {config.workers}",
     ]
     if args.dry_run:
         app.close()

@@ -144,6 +144,29 @@ class SubgraphScoringModel(Module):
             self._cached_graphs[id(graph)] = graph
         return [self._sample_cache[key] for key in keys]
 
+    def install_samples(
+        self,
+        graph: KnowledgeGraph,
+        triples: Sequence[Triple],
+        samples: Sequence[Any],
+    ) -> None:
+        """Insert externally prepared ``samples`` into the memoised cache.
+
+        The parallel layer's :class:`~repro.parallel.prepare.ShardedPreparer`
+        prepares shards in worker processes and installs the merged results
+        here, so subsequent (serial) scoring calls hit the cache exactly as
+        if :meth:`prepared_many` had built them.
+        """
+        if len(triples) != len(samples):
+            raise ValueError(
+                f"{len(triples)} triples but {len(samples)} samples"
+            )
+        for triple, sample in zip(triples, samples):
+            key = (id(graph), tuple(int(x) for x in triple))
+            self._sample_cache[key] = sample
+        if len(triples):
+            self._cached_graphs[id(graph)] = graph
+
     def clear_cache(self) -> None:
         self._sample_cache.clear()
         self._cached_graphs.clear()

@@ -138,8 +138,15 @@ def evaluate_triple_classification(
     graph: KnowledgeGraph,
     targets: TripleSet,
     rng: np.random.Generator,
+    pool=None,
 ) -> ClassificationResult:
-    """AUC-PR with one sampled negative per positive (paper protocol)."""
+    """AUC-PR with one sampled negative per positive (paper protocol).
+
+    ``pool`` (a :class:`repro.parallel.pool.WorkerPool` whose context pins
+    this model and graph) shards the scoring across worker processes;
+    per-sample scoring is independent of batch composition, so the metric
+    is bitwise identical to the serial run.
+    """
     positives = list(targets)
     if not positives:
         raise ValueError("no test triples")
@@ -152,12 +159,18 @@ def evaluate_triple_classification(
         known=known,
         candidate_entities=candidates,
     )
-    # Evaluation never backpropagates: suppress backward-graph
-    # construction for every scorer (subgraph models also no-grad
-    # internally; this covers rule/embedding scorers uniformly).
-    with no_grad():
-        pos_scores = model.score_triples(graph, positives)
-        neg_scores = model.score_triples(graph, negatives)
+    if pool is not None and pool.workers > 1:
+        from repro.parallel.evaluation import score_triples_sharded
+
+        pos_scores = score_triples_sharded(pool, positives)
+        neg_scores = score_triples_sharded(pool, negatives)
+    else:
+        # Evaluation never backpropagates: suppress backward-graph
+        # construction for every scorer (subgraph models also no-grad
+        # internally; this covers rule/embedding scorers uniformly).
+        with no_grad():
+            pos_scores = model.score_triples(graph, positives)
+            neg_scores = model.score_triples(graph, negatives)
     labels = [1] * len(positives) + [0] * len(negatives)
     scores = np.concatenate([pos_scores, neg_scores])
     return ClassificationResult(
@@ -166,39 +179,71 @@ def evaluate_triple_classification(
     )
 
 
+def build_ranking_queries(
+    graph: KnowledgeGraph,
+    targets: TripleSet,
+    rng: np.random.Generator,
+    num_negatives: int = 49,
+) -> List[List[Triple]]:
+    """Every query's candidate list (truth at index 0), drawn in protocol
+    order.
+
+    This is the RNG-consuming phase of entity prediction, factored out so
+    the serial loop and the parallel fan-out rank the *identical* candidate
+    lists: per query, one ``integers(2)`` draw for the corrupted side, then
+    the :func:`~repro.kg.sampling.ranking_candidates` draws — the exact
+    stream order of the historical inline loop.
+    """
+    candidates_pool = _candidate_entities(graph, targets)
+    known = _known_facts(graph, targets)
+    query_lists: List[List[Triple]] = []
+    for triple in targets:
+        corrupt_head = bool(rng.integers(2))
+        query_lists.append(
+            ranking_candidates(
+                triple,
+                num_entities=graph.num_entities,
+                rng=rng,
+                num_negatives=num_negatives,
+                known=known,
+                candidate_entities=candidates_pool,
+                corrupt_head=corrupt_head,
+            )
+        )
+    return query_lists
+
+
 def evaluate_entity_prediction(
     model: TripleScorer,
     graph: KnowledgeGraph,
     targets: TripleSet,
     rng: np.random.Generator,
     num_negatives: int = 49,
+    pool=None,
 ) -> RankingResult:
     """MRR / Hits@n ranking the truth against sampled candidates.
 
     For each test triple, the corrupted side (head or tail) is chosen
     uniformly — matching the paper's "replacing the head (or tail) with a
-    random entity".
+    random entity".  With ``pool`` (a worker pool pinning this model and
+    graph), per-query candidate scoring fans out across worker processes;
+    candidate drawing stays in the parent, so metrics are bitwise identical
+    to the serial protocol.
     """
     queries = list(targets)
     if not queries:
         raise ValueError("no test triples")
-    candidates_pool = _candidate_entities(graph, targets)
-    known = _known_facts(graph, targets)
-    ranks: List[float] = []
-    for triple in queries:
-        corrupt_head = bool(rng.integers(2))
-        candidates = ranking_candidates(
-            triple,
-            num_entities=graph.num_entities,
-            rng=rng,
-            num_negatives=num_negatives,
-            known=known,
-            candidate_entities=candidates_pool,
-            corrupt_head=corrupt_head,
-        )
-        with no_grad():
-            scores = model.score_triples(graph, candidates)
-        ranks.append(rank_of_first(scores))
+    query_lists = build_ranking_queries(graph, targets, rng, num_negatives)
+    if pool is not None and pool.workers > 1:
+        from repro.parallel.evaluation import score_query_lists
+
+        per_query_scores = score_query_lists(pool, query_lists)
+    else:
+        per_query_scores = []
+        for candidates in query_lists:
+            with no_grad():
+                per_query_scores.append(model.score_triples(graph, candidates))
+    ranks: List[float] = [rank_of_first(scores) for scores in per_query_scores]
     return RankingResult(
         mrr=mrr(ranks),
         hits_at_10=hits_at(ranks, 10),
@@ -227,8 +272,27 @@ def evaluate_both(
     targets: TripleSet,
     seed: int = 0,
     num_negatives: int = 49,
+    workers: int = 1,
 ) -> EvaluationReport:
-    """Run both protocols with independent deterministic streams."""
+    """Run both protocols with independent deterministic streams.
+
+    ``workers > 1`` fans candidate scoring across a transient worker pool
+    (see :mod:`repro.parallel`); metrics are bitwise identical to the
+    serial run for any worker count.
+    """
+    if workers > 1:
+        from repro.parallel.evaluation import ParallelEvaluator
+
+        with ParallelEvaluator(model, graph, workers=workers, seed=seed) as evaluator:
+            classification = evaluator.triple_classification(
+                targets, np.random.default_rng((seed, 1))
+            )
+            ranking = evaluator.entity_prediction(
+                targets,
+                np.random.default_rng((seed, 2)),
+                num_negatives=num_negatives,
+            )
+            return EvaluationReport(classification=classification, ranking=ranking)
     classification = evaluate_triple_classification(
         model, graph, targets, np.random.default_rng((seed, 1))
     )

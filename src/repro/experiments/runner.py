@@ -34,17 +34,23 @@ MODEL_NAMES = (
     "RMPI-NE-TA",
 )
 
-_SCHEMA_CACHE: Dict[int, np.ndarray] = {}
+# Values keep the ontology alive: an id()-keyed cache alone is a latent
+# aliasing bug — once an ontology is garbage collected its id can be
+# recycled by a NEW ontology, which would then silently receive the old
+# one's embeddings.  Keying on (id, seed, dim) also stops a seed/dim
+# change from answering with vectors pretrained under different settings.
+_SCHEMA_CACHE: Dict[tuple, tuple] = {}
 
 
 def schema_vectors_for(ontology: Ontology, seed: int = 0, dim: int = 32) -> np.ndarray:
-    """TransE schema embeddings for an ontology (cached per ontology)."""
-    key = id(ontology)
+    """TransE schema embeddings for an ontology (cached per ontology +
+    pretraining settings)."""
+    key = (id(ontology), int(seed), int(dim))
     if key not in _SCHEMA_CACHE:
         schema = build_schema_graph(ontology)
         config = TransEConfig(dim=dim, seed=seed)
-        _SCHEMA_CACHE[key] = pretrain_schema_embeddings(schema, config)
-    return _SCHEMA_CACHE[key]
+        _SCHEMA_CACHE[key] = (ontology, pretrain_schema_embeddings(schema, config))
+    return _SCHEMA_CACHE[key][1]
 
 
 def make_model(
@@ -126,6 +132,7 @@ def run_experiment(
         benchmark.test_triples,
         seed=seed,
         num_negatives=num_negatives,
+        workers=training.parallel.resolved_eval_workers(),
     )
     label = model_name + ("+schema" if use_schema else "")
     return ExperimentResult(

@@ -30,6 +30,8 @@ def corrupt_triple(
     """
     head, rel, tail = triple
     known = known or set()
+    if max_tries < 1:
+        raise ValueError(f"max_tries must be >= 1, got {max_tries}")
     for _ in range(max_tries):
         if candidate_entities is not None:
             replacement = int(candidate_entities[rng.integers(len(candidate_entities))])

@@ -1,0 +1,283 @@
+"""Rank-addressed multiprocessing worker pool (the parallel substrate).
+
+Design
+------
+``WorkerPool`` starts ``workers`` persistent processes with the ``fork``
+start method.  Heavy read-only state (the :class:`KnowledgeGraph`, the
+model, the serving registry) is handed to the children *by inheritance*: it
+is stashed in a module global immediately before forking, so children see
+it copy-on-write without ever pickling a graph or a model.  Only task
+payloads (triples, parameter arrays) and results (samples, scores,
+gradients) cross the process boundary.
+
+Unlike ``multiprocessing.Pool``, tasks are addressed **by rank**: shard
+``k`` always runs on worker ``k``.  That buys three properties the parity
+and determinism suites rely on:
+
+* deterministic shard → process placement (no scheduler races);
+* per-rank RNG streams pinned at startup from ``(seed, rank)`` via
+  :mod:`repro.utils.seeding`, so dropout draws are reproducible run to run;
+* per-rank sample caches stay coherent: the same rank re-prepares the same
+  shard across epochs.
+
+Operations are plain functions registered with :func:`register_op`; they
+receive a per-worker ``state`` dict (``context`` + ``rank`` + ``rng``) and
+the payload.  Consumer modules (:mod:`repro.parallel.prepare`,
+:mod:`repro.parallel.trainer`, :mod:`repro.parallel.evaluation`,
+:mod:`repro.parallel.serving`) register theirs at import time, which the
+forked children inherit.
+
+``workers=1`` (the default everywhere) never forks: ops run inline in the
+parent through the very same dispatch path, so the serial configuration is
+untouched by this subsystem while still exercising one code path in tests.
+On platforms without ``fork`` the pool degrades to inline execution
+rather than failing (gated, not assumed — see :func:`fork_available`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import traceback
+from queue import Empty
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.utils.seeding import worker_rng
+
+#: Handed to forked children by COW inheritance; set only inside
+#: :meth:`WorkerPool._start_processes` for the duration of the forks.
+_FORK_CONTEXT: Optional[Dict[str, Any]] = None
+
+#: Registered operations: name -> fn(state, payload).
+_OPS: Dict[str, Callable[[Dict[str, Any], Any], Any]] = {}
+
+_STOP = None  # queue sentinel
+
+
+class WorkerError(RuntimeError):
+    """An operation raised (or a worker died) inside the pool; carries the
+    rank and the remote traceback."""
+
+
+def register_op(name: str) -> Callable:
+    """Decorator registering a worker operation under ``name``."""
+
+    def decorate(fn: Callable[[Dict[str, Any], Any], Any]) -> Callable:
+        if name in _OPS and _OPS[name] is not fn:  # pragma: no cover - guard
+            raise ValueError(f"operation {name!r} already registered")
+        _OPS[name] = fn
+        return fn
+
+    return decorate
+
+
+def fork_available() -> bool:
+    """Whether real process parallelism is available on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _pin_rngs(value: Any, seed: int, rank: int, counter: List[int]) -> None:
+    """Recursively repoint every ``_rng`` attribute under ``value`` to a
+    fresh per-rank stream.
+
+    Models may hold RNGs at any depth (e.g. a dropout submodule with its
+    own generator), and a fork-inherited generator would advance in
+    lockstep across all ranks — correlated draws.  Each pinned object gets
+    a distinct stream derived from ``(seed, rank, discovery index)``;
+    discovery order is the module tree's attribute insertion order, which
+    is construction-deterministic, so runs remain reproducible.
+    """
+    if hasattr(value, "_rng"):
+        value._rng = worker_rng(seed, rank, counter[0])
+        counter[0] += 1
+    # Walk Module trees (duck-typed on named_parameters to avoid importing
+    # the autograd package here) through their instance attributes.
+    if hasattr(value, "named_parameters"):
+        for child in vars(value).values():
+            if hasattr(child, "named_parameters") or hasattr(child, "_rng"):
+                _pin_rngs(child, seed, rank, counter)
+            elif isinstance(child, (list, tuple)):
+                for item in child:
+                    if hasattr(item, "named_parameters") or hasattr(item, "_rng"):
+                        _pin_rngs(item, seed, rank, counter)
+
+
+def _worker_main(rank: int, seed: int, tasks, results) -> None:
+    """Child process loop: seeded at startup, then task → dispatch → result."""
+    context = _FORK_CONTEXT or {}
+    state = {"context": context, "rank": rank, "rng": worker_rng(seed, rank)}
+    # Pin every RNG reachable from the context to this rank's streams;
+    # without this all forked children would continue the parent's stream
+    # in lockstep.
+    counter = [0]
+    for value in context.values():
+        _pin_rngs(value, seed, rank, counter)
+    while True:
+        task = tasks.get()
+        if task is _STOP:
+            return
+        task_id, op, payload = task
+        try:
+            value = _OPS[op](state, payload)
+            results.put((task_id, rank, "ok", value))
+        except BaseException as error:  # noqa: BLE001 — shipped to parent
+            results.put(
+                (
+                    task_id,
+                    rank,
+                    "error",
+                    f"{type(error).__name__}: {error}\n{traceback.format_exc()}",
+                )
+            )
+
+
+class WorkerPool:
+    """``workers`` rank-addressed processes over a shared read-only context.
+
+    Parameters
+    ----------
+    workers:
+        Number of ranks.  ``1`` runs every op inline (no processes).
+    context:
+        Read-only objects the ops need (graph, model, registry ...).
+        Inherited by fork — mutations after construction are NOT visible
+        to the workers; ship mutable state (e.g. parameters) in payloads.
+    seed:
+        Base seed for the per-rank RNG streams.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        context: Optional[Dict[str, Any]] = None,
+        seed: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.seed = int(seed)
+        self.context: Dict[str, Any] = dict(context or {})
+        self._inline = self.workers == 1 or not fork_available()
+        self._processes: List[multiprocessing.Process] = []
+        self._task_queues: List[Any] = []
+        self._results: Optional[Any] = None
+        self._closed = False
+        # One dispatch at a time: task ids are per-call and the results
+        # queue is shared, so overlapping run() calls (e.g. the scheduler
+        # thread and a direct session.score) must serialise here.
+        self._run_lock = threading.Lock()
+        if not self._inline:
+            self._start_processes()
+
+    # ------------------------------------------------------------------
+    def _start_processes(self) -> None:
+        global _FORK_CONTEXT
+        ctx = multiprocessing.get_context("fork")
+        self._results = ctx.Queue()
+        _FORK_CONTEXT = self.context
+        try:
+            for rank in range(self.workers):
+                tasks = ctx.SimpleQueue()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(rank, self.seed, tasks, self._results),
+                    name=f"repro-parallel-{rank}",
+                    daemon=True,
+                )
+                process.start()
+                self._task_queues.append(tasks)
+                self._processes.append(process)
+        finally:
+            _FORK_CONTEXT = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_inline(self) -> bool:
+        """True when ops run in the parent process (workers=1 or no fork)."""
+        return self._inline
+
+    def run(self, op: str, payloads: Sequence[Any]) -> List[Any]:
+        """Run ``op`` with ``payloads[k]`` on rank ``k``; results aligned
+        with ``payloads``.  At most ``workers`` payloads per call."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        payloads = list(payloads)
+        if len(payloads) > self.workers:
+            raise ValueError(
+                f"{len(payloads)} payloads for {self.workers} workers; "
+                "shard the work first (repro.parallel.sharding)"
+            )
+        if op not in _OPS:
+            raise KeyError(f"unknown operation {op!r}")
+        if self._inline:
+            state = {"context": self.context, "rank": 0, "rng": None}
+            return [_OPS[op](state, payload) for payload in payloads]
+        with self._run_lock:
+            for task_id, payload in enumerate(payloads):
+                self._task_queues[task_id].put((task_id, op, payload))
+            results: List[Any] = [None] * len(payloads)
+            for _ in range(len(payloads)):
+                task_id, rank, status, value = self._collect_one()
+                if status != "ok":
+                    raise WorkerError(
+                        f"worker {rank} failed running {op!r}:\n{value}"
+                    )
+                results[task_id] = value
+        return results
+
+    def _collect_one(self):
+        """One result, with liveness checks so a dead worker surfaces as an
+        error instead of a hang."""
+        while True:
+            try:
+                return self._results.get(timeout=1.0)
+            except Empty:
+                dead = [
+                    process.name
+                    for process in self._processes
+                    if not process.is_alive()
+                ]
+                if dead:
+                    raise WorkerError(f"worker process(es) died: {dead}")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for tasks in self._task_queues:
+            try:
+                tasks.put(_STOP)
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        if self._results is not None:
+            self._results.close()
+        self._processes = []
+        self._task_queues = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

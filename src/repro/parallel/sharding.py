@@ -1,0 +1,46 @@
+"""Deterministic contiguous sharding used by every parallel entry point.
+
+A batch of ``n`` items split across ``k`` ranks yields ``k`` contiguous
+shards whose sizes differ by at most one (the first ``n % k`` ranks get the
+extra item).  Contiguity matters twice: merged results are a plain
+concatenation (input order preserved with no index bookkeeping), and the
+serial reference path processes items in exactly this order, which is what
+makes shard-by-shard outputs directly comparable in the parity suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def shard_sizes(num_items: int, num_shards: int) -> List[int]:
+    """Balanced contiguous shard sizes (may include zeros when
+    ``num_items < num_shards``)."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_items < 0:
+        raise ValueError(f"num_items must be >= 0, got {num_items}")
+    base, extra = divmod(num_items, num_shards)
+    return [base + (1 if rank < extra else 0) for rank in range(num_shards)]
+
+
+def shard_list(items: Sequence[T], num_shards: int) -> List[List[T]]:
+    """Split ``items`` into ``num_shards`` contiguous balanced shards."""
+    items = list(items)
+    shards: List[List[T]] = []
+    start = 0
+    for size in shard_sizes(len(items), num_shards):
+        shards.append(items[start : start + size])
+        start += size
+    return shards
+
+
+def merge_shards(shards: Sequence[Sequence[T]]) -> List[T]:
+    """Concatenate shard outputs back into input order (inverse of
+    :func:`shard_list` for order-preserving per-shard maps)."""
+    merged: List[T] = []
+    for shard in shards:
+        merged.extend(shard)
+    return merged

@@ -46,6 +46,9 @@ class ServingConfig:
     cache_size: int = DEFAULT_SCORE_CACHE_SIZE
     use_fused: bool = True
     request_timeout_s: float = 60.0
+    # Worker-pool scoring backend (repro.parallel): >1 shards each
+    # coalesced micro-batch's cache misses across forked scoring workers.
+    workers: int = 1
 
 
 class BadRequest(ValueError):
@@ -106,6 +109,20 @@ class ServingApp:
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.max_wait_ms,
         )
+        if self.config.workers > 1:
+            # Fork the scoring workers now, while every model registered so
+            # far is visible; the session snapshots the registry keys and
+            # scores later registrations serially.
+            from repro.parallel.serving import scoring_pool
+
+            self.session.attach_scoring_pool(
+                scoring_pool(
+                    registry,
+                    self.session.graph,
+                    self.config.workers,
+                    use_fused=self.config.use_fused,
+                )
+            )
 
     # ------------------------------------------------------------------
     def start(self) -> "ServingApp":
@@ -114,6 +131,7 @@ class ServingApp:
 
     def close(self) -> None:
         self.scheduler.close()
+        self.session.detach_scoring_pool(close=True)
 
     def describe(self) -> Dict[str, Any]:
         """Startup/dry-run summary (also the CLI's ``serve --dry-run``)."""

@@ -9,9 +9,16 @@ from repro.train.checkpoint import (
     resolve_checkpoint_path,
     save_checkpoint,
 )
-from repro.train.trainer import Trainer, TrainingConfig, TrainingHistory, train_model
+from repro.train.trainer import (
+    ParallelConfig,
+    Trainer,
+    TrainingConfig,
+    TrainingHistory,
+    train_model,
+)
 
 __all__ = [
+    "ParallelConfig",
     "Trainer",
     "TrainingConfig",
     "TrainingHistory",

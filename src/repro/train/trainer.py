@@ -27,6 +27,24 @@ from repro.kg.triples import TripleSet
 
 
 @dataclass(frozen=True)
+class ParallelConfig:
+    """Multi-process execution section (see :mod:`repro.parallel`).
+
+    ``workers=1`` — the default everywhere — keeps the serial code path
+    completely untouched (no processes, no queues).  With ``workers > 1``
+    training shards each batch across a fork-based worker pool
+    (data-parallel gradients, averaged in the parent before the Adam
+    step) and evaluation fans ranking queries across the same pool.
+    """
+
+    workers: int = 1
+    eval_workers: Optional[int] = None  # None = same as ``workers``
+
+    def resolved_eval_workers(self) -> int:
+        return self.workers if self.eval_workers is None else self.eval_workers
+
+
+@dataclass(frozen=True)
 class TrainingConfig:
     """Optimisation hyper-parameters (paper defaults, scaled epochs)."""
 
@@ -41,6 +59,7 @@ class TrainingConfig:
     seed: int = 0
     use_fused_scoring: bool = True  # batched scoring (fused forward on RMPI)
     one_pass_step: bool = True  # positives+negatives in ONE forward/backward
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
 
 @dataclass
@@ -129,30 +148,46 @@ class Trainer:
                 known=self._known,
                 candidate_entities=self._entities,
             )
-            score_fn = (
-                self.model.score_batch_fused
-                if config.use_fused_scoring
-                else self.model.score_batch
-            )
-            if config.one_pass_step:
-                # One merged forward/backward per step: positives and
-                # negatives ride the same (disjoint-union) scoring pass,
-                # halving the graph traversals of the two-call layout.
-                scores = score_fn(self.graph, list(batch) + list(negatives))
-                pos_scores = scores[: len(batch)]
-                neg_scores = scores[len(batch) :]
-            else:
-                pos_scores = score_fn(self.graph, batch)
-                neg_scores = score_fn(self.graph, negatives)
-            loss = margin_ranking_loss(pos_scores, neg_scores, margin=config.margin)
-            self.optimizer.zero_grad()
-            loss.backward()
-            clip_grad_norm(self.model.parameters(), config.clip_norm)
-            self.optimizer.step()
-            epoch_loss += float(loss.data)
+            step_loss = self._batch_step(batch, negatives)
+            if step_loss is None:
+                continue
+            epoch_loss += step_loss
             num_batches += 1
         self.model.eval()
         return epoch_loss / max(num_batches, 1)
+
+    def _batch_step(self, batch, negatives) -> Optional[float]:
+        """Forward/backward/optimise one batch; returns its loss.
+
+        The only trainer hook subclasses override: :meth:`_run_epoch` is
+        the single owner of the epoch's RNG stream (subsampling,
+        permutation, negative drawing), so changing step *execution* —
+        e.g. the data-parallel fan-out — can never desynchronise the data
+        order from the serial trainer.  Returning ``None`` skips the step
+        (no optimiser state advanced).
+        """
+        config = self.config
+        score_fn = (
+            self.model.score_batch_fused
+            if config.use_fused_scoring
+            else self.model.score_batch
+        )
+        if config.one_pass_step:
+            # One merged forward/backward per step: positives and
+            # negatives ride the same (disjoint-union) scoring pass,
+            # halving the graph traversals of the two-call layout.
+            scores = score_fn(self.graph, list(batch) + list(negatives))
+            pos_scores = scores[: len(batch)]
+            neg_scores = scores[len(batch) :]
+        else:
+            pos_scores = score_fn(self.graph, batch)
+            neg_scores = score_fn(self.graph, negatives)
+        loss = margin_ranking_loss(pos_scores, neg_scores, margin=config.margin)
+        self.optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(self.model.parameters(), config.clip_norm)
+        self.optimizer.step()
+        return float(loss.data)
 
     def _validate(self, epoch: int) -> float:
         result = evaluate_triple_classification(
@@ -171,5 +206,17 @@ def train_model(
     valid_triples: Optional[TripleSet] = None,
     config: Optional[TrainingConfig] = None,
 ) -> TrainingHistory:
-    """Convenience one-shot training entry point."""
+    """Convenience one-shot training entry point.
+
+    Dispatches to the data-parallel trainer when the config's ``parallel``
+    section asks for more than one worker; otherwise the serial
+    :class:`Trainer` runs exactly as before.
+    """
+    config = config or TrainingConfig()
+    if config.parallel.workers > 1:
+        from repro.parallel.trainer import DataParallelTrainer
+
+        return DataParallelTrainer(
+            model, graph, train_triples, valid_triples, config
+        ).fit()
     return Trainer(model, graph, train_triples, valid_triples, config).fit()

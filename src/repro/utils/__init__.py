@@ -1,0 +1,9 @@
+"""`repro.utils` — cross-cutting helpers (deterministic seeding)."""
+
+from repro.utils.seeding import derive_seed, seed_everything, worker_rng
+
+__all__ = [
+    "derive_seed",
+    "seed_everything",
+    "worker_rng",
+]

@@ -1,6 +1,13 @@
-"""Shared fixtures: small deterministic graphs and benchmarks."""
+"""Shared fixtures: small deterministic graphs and benchmarks.
+
+Parallel-suite knobs: ``--workers N`` (or ``REPRO_TEST_WORKERS``) caps the
+worker counts the multi-process suites exercise — CI shared runners run
+them with ``--workers 2``; locally the default sweep is {1, 2, 4}.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -12,6 +19,37 @@ from repro.kg import (
     build_partial_benchmark,
     build_ext_benchmark,
 )
+from repro.utils.seeding import seed_everything
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_TEST_WORKERS", "4")),
+        help="largest worker count the parallel suites exercise "
+        "(cases above it are skipped; default 4, env REPRO_TEST_WORKERS)",
+    )
+
+
+@pytest.fixture
+def max_workers(request):
+    """Cap from ``--workers`` / ``REPRO_TEST_WORKERS`` for parallel tests."""
+    return request.config.getoption("--workers")
+
+
+@pytest.fixture
+def pinned_seeds():
+    """Pin every global RNG stream for tests that compare two runs.
+
+    Per-worker streams inside :mod:`repro.parallel` are pinned by the pool
+    itself (seed derived from the worker rank via
+    :func:`repro.utils.seeding.worker_rng`); this fixture pins the
+    *parent-process* globals so a test's own sampling is reproducible too.
+    """
+    seed_everything(0)
+    yield
+    seed_everything(0)
 
 
 @pytest.fixture

@@ -57,6 +57,32 @@ class TestSchemaVectors:
         vectors = schema_vectors_for(tiny_partial_benchmark.ontology)
         assert vectors.shape[0] == tiny_partial_benchmark.ontology.num_relations
 
+    def test_settings_are_part_of_the_cache_key(self, tiny_partial_benchmark):
+        # Regression: the cache was keyed on id(ontology) alone, so a
+        # different seed or dim silently answered with vectors pretrained
+        # under the previous settings.
+        ontology = tiny_partial_benchmark.ontology
+        base = schema_vectors_for(ontology, seed=0, dim=16)
+        reseeded = schema_vectors_for(ontology, seed=1, dim=16)
+        resized = schema_vectors_for(ontology, seed=0, dim=8)
+        assert not np.array_equal(base, reseeded)
+        assert resized.shape[1] != base.shape[1]
+        assert schema_vectors_for(ontology, seed=0, dim=16) is base
+
+    def test_cache_pins_ontology_alive(self, tiny_partial_benchmark):
+        # Regression: an id()-keyed cache whose values do not reference the
+        # ontology lets a garbage-collected ontology's id be recycled by a
+        # NEW ontology, which then aliases the stale embeddings.  The cache
+        # must hold the keyed ontology itself.
+        from repro.experiments.runner import _SCHEMA_CACHE
+
+        ontology = tiny_partial_benchmark.ontology
+        schema_vectors_for(ontology, seed=0, dim=16)
+        assert any(
+            entry[0] is ontology
+            for entry in _SCHEMA_CACHE.values()
+        )
+
 
 class TestRunExperiment:
     def test_partial_run(self, tiny_partial_benchmark):

@@ -493,7 +493,12 @@ def served(trained_checkpoint):
         yield server, ServingClient(server.url), registry, bench
 
 
+@pytest.mark.slow
 class TestHTTPServing:
+    """Trained-from-scratch serving e2e: tier-2 (``-m slow``), run by the
+    CI parallel-and-slow job; tier-1 covers the same components through the
+    unit/integration classes above."""
+
     def test_health_and_models(self, served):
         _, client, _, bench = served
         health = client.health()

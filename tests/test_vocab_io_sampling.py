@@ -110,6 +110,14 @@ class TestNegativeSampling:
             )
             assert {h, t} <= {0, 1, 2, 3}
 
+    def test_max_tries_must_be_positive(self):
+        # Regression: max_tries=0 skipped the loop entirely and hit the
+        # final `return candidate` with the name never bound
+        # (UnboundLocalError instead of a meaningful error).
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            corrupt_triple((0, 0, 1), num_entities=10, rng=rng, max_tries=0)
+
     def test_negative_triples_aligned(self):
         rng = np.random.default_rng(0)
         positives = TripleSet([(0, 0, 1), (2, 1, 3)])
