@@ -12,6 +12,7 @@ from repro.experiments import bench_settings, make_model, schema_vectors_for
 from repro.kg.hashing import stable_hash
 from repro.kg import build_ext_benchmark
 from repro.kg.benchmarks import ExtBenchmark
+from repro.utils.seeding import seeded_rng
 
 CATEGORIES = ("u_ent", "u_rel", "u_both")
 RMPI_METHODS = ("RMPI-base", "RMPI-NE")
@@ -26,7 +27,7 @@ def evaluate_on_categories(scorer, bench: ExtBenchmark, seed: int, num_negatives
             scorer,
             bench.test_graph,
             targets,
-            np.random.default_rng((seed, stable_hash(category, 0xFF))),
+            seeded_rng((seed, stable_hash(category, 0xFF))),
             num_negatives=num_negatives,
         )
         row.extend([result.mrr, result.hits_at_10])
@@ -46,7 +47,7 @@ def run_ext_comparison(
     bench = build_ext_benchmark(family, scale=settings.scale, seed=settings.seed)
     rows: Dict[str, List[float]] = {}
 
-    maker = MaKEr(bench.num_relations, np.random.default_rng(settings.seed), embed_dim=32)
+    maker = MaKEr(bench.num_relations, seeded_rng(settings.seed), embed_dim=32)
     train_maker(
         maker,
         bench.train_graph,

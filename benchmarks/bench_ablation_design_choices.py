@@ -14,6 +14,7 @@ from repro.eval import evaluate_both
 from repro.experiments import bench_settings, format_table
 from repro.kg import build_partial_benchmark
 from repro.train import train_model
+from repro.utils.seeding import seeded_rng
 
 SWEEPS = [
     ("base", RMPIConfig()),
@@ -39,7 +40,7 @@ def test_ablation_design_choices(benchmark, emit):
         for label, config in SWEEPS:
             model = RMPI(
                 bench.num_relations,
-                np.random.default_rng(settings.seed),
+                seeded_rng(settings.seed),
                 config,
             )
             train_model(

@@ -14,6 +14,7 @@ from repro.experiments import bench_settings, format_table, run_experiment
 from repro.kg import build_partial_benchmark
 from repro.kg.sampling import negative_triples
 from repro.subgraph import extract_enclosing_subgraph
+from repro.utils.seeding import seeded_rng
 
 
 def empty_rate(graph, triples, num_hops=2):
@@ -36,7 +37,7 @@ def test_ablation_empty_subgraphs(benchmark, emit):
             bench = build_partial_benchmark(
                 family, 1, scale=settings.scale, seed=settings.seed
             )
-            rng = np.random.default_rng(settings.seed)
+            rng = seeded_rng(settings.seed)
             positives = list(bench.test_triples)[:40]
             negatives = negative_triples(
                 bench.test_triples, bench.test_graph.num_entities, rng,

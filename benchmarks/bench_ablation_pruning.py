@@ -21,6 +21,7 @@ from repro.subgraph import (
     extract_enclosing_subgraph,
     full_graph_plan,
 )
+from repro.utils.seeding import seeded_rng
 
 
 def test_ablation_pruning_efficiency(benchmark, emit):
@@ -30,7 +31,7 @@ def test_ablation_pruning_efficiency(benchmark, emit):
         bench = build_partial_benchmark(
             "FB15k-237", 2, scale=settings.scale, seed=settings.seed
         )
-        model = RMPI(bench.num_relations, np.random.default_rng(0), RMPIConfig())
+        model = RMPI(bench.num_relations, seeded_rng(0), RMPIConfig())
         model.eval()
         triples = list(bench.train_triples)[:60]
 

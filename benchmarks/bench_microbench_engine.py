@@ -22,6 +22,7 @@ from repro.subgraph import (
     extract_subgraphs_many,
     legacy_extract_enclosing_subgraph,
 )
+from repro.utils.seeding import seeded_rng
 
 
 def _bench_graph():
@@ -33,7 +34,7 @@ def _ranking_workload(bench, num_queries=8, num_negatives=49):
     """The entity-prediction extraction workload: per query, the truth plus
     ``num_negatives`` corruptions of one side (paper §IV-B)."""
     graph = bench.train_graph
-    rng = np.random.default_rng(0)
+    rng = seeded_rng(0)
     pool = sorted(graph.triples.entities())
     queries = list(bench.test_triples)[:num_queries] or list(bench.train_triples)[:num_queries]
     workload = []
@@ -149,7 +150,7 @@ def test_perf_linegraph_and_plan(benchmark):
 
 def test_perf_rmpi_forward_backward(benchmark):
     bench = _bench_graph()
-    model = RMPI(bench.num_relations, np.random.default_rng(0), RMPIConfig(dropout=0.0))
+    model = RMPI(bench.num_relations, seeded_rng(0), RMPIConfig(dropout=0.0))
     triples = list(bench.train_triples)[:16]
     negatives = [(t[2], t[1], t[0]) for t in triples]
     # Warm the sample cache so we measure compute, not extraction.
@@ -167,7 +168,7 @@ def test_perf_rmpi_forward_backward(benchmark):
 
 
 def test_perf_segment_ops(benchmark):
-    rng = np.random.default_rng(0)
+    rng = seeded_rng(0)
     values = Tensor(rng.normal(size=(5000, 32)), requires_grad=True)
     logits = Tensor(rng.normal(size=5000), requires_grad=True)
     segments = rng.integers(500, size=5000)

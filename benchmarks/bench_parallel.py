@@ -30,6 +30,7 @@ from repro.experiments import bench_settings
 from repro.kg import build_partial_benchmark, ranking_candidates
 from repro.kg.triples import TripleSet
 from repro.parallel import ParallelEvaluator, ShardedPreparer, usable_cpus
+from repro.utils.seeding import seeded_rng
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 # 24 queries x 50 candidates: enough compute per fork that the fixed pool
@@ -49,14 +50,14 @@ def _bench_graph():
 def _make_model(bench):
     return RMPI(
         bench.num_relations,
-        np.random.default_rng(0),
+        seeded_rng(0),
         RMPIConfig(embed_dim=32, use_disclosing=True),
     )
 
 
 def _ranking_workload(bench, num_queries, num_negatives=49):
     graph = bench.train_graph
-    rng = np.random.default_rng(0)
+    rng = seeded_rng(0)
     pool = sorted(graph.triples.entities())
     queries = (
         list(bench.test_triples)[:num_queries]
@@ -107,7 +108,7 @@ def test_perf_parallel_speedups(emit):
     eval_serial_model = _make_model(bench)
     start = time.perf_counter()
     serial_result = evaluate_entity_prediction(
-        eval_serial_model, graph, targets, np.random.default_rng(1)
+        eval_serial_model, graph, targets, seeded_rng(1)
     )
     t_eval_serial = time.perf_counter() - start
 
@@ -115,7 +116,7 @@ def test_perf_parallel_speedups(emit):
     with ParallelEvaluator(eval_parallel_model, graph, workers=WORKERS) as evaluator:
         start = time.perf_counter()
         parallel_result = evaluator.entity_prediction(
-            targets, np.random.default_rng(1)
+            targets, seeded_rng(1)
         )
         t_eval_parallel = time.perf_counter() - start
     eval_speedup = t_eval_serial / t_eval_parallel

@@ -29,6 +29,7 @@ from repro.subgraph import (
     legacy_build_relational_graph,
     legacy_extract_enclosing_subgraph,
 )
+from repro.utils.seeding import seeded_rng
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 NUM_HOPS = 2
@@ -45,7 +46,7 @@ def _bench_graph():
 def _ranking_workload(bench, num_queries=8, num_negatives=49):
     """Per query, the truth plus ``num_negatives`` one-side corruptions."""
     graph = bench.train_graph
-    rng = np.random.default_rng(0)
+    rng = seeded_rng(0)
     pool = sorted(graph.triples.entities())
     queries = (
         list(bench.test_triples)[:num_queries]
@@ -136,7 +137,7 @@ def test_perf_prepare_pipeline_speedup(emit):
     # Forward stage (vectorized only): fused batched scoring over the
     # prepared plans, reported for the full pipeline picture.
     model = RMPI(
-        bench.num_relations, np.random.default_rng(0), RMPIConfig(dropout=0.0)
+        bench.num_relations, seeded_rng(0), RMPIConfig(dropout=0.0)
     )
     model.eval()
     samples = model.prepare_many(csr_graph, workload[:64])

@@ -25,13 +25,14 @@ from repro.core import RMPI, RMPIConfig
 from repro.experiments import bench_settings, format_table
 from repro.kg import build_partial_benchmark, ranking_candidates
 from repro.serve import InferenceSession, MicroBatchScheduler, ModelRegistry
+from repro.utils.seeding import seeded_rng
 
 
 def _serving_workload(bench, num_queries=4, num_negatives=29):
     """Online ranking traffic: per query, the truth + corruptions of one
     side — the candidate lists a /topk endpoint scores."""
     graph = bench.train_graph
-    rng = np.random.default_rng(0)
+    rng = seeded_rng(0)
     pool = sorted(graph.triples.entities())
     queries = list(bench.test_triples)[:num_queries] or list(bench.train_triples)[:num_queries]
     workload = []
@@ -71,7 +72,7 @@ def test_perf_micro_batched_serving_throughput(emit):
     registry = ModelRegistry()
     registry.register(
         "rmpi",
-        RMPI(bench.num_relations, np.random.default_rng(0), RMPIConfig(embed_dim=16, dropout=0.0)),
+        RMPI(bench.num_relations, seeded_rng(0), RMPIConfig(embed_dim=16, dropout=0.0)),
     )
     # Score cache off: measure the scoring path, not repeated-query caching.
     session = InferenceSession(registry, graph, cache_size=0)

@@ -33,6 +33,7 @@ from repro.core import RMPI, RMPIConfig
 from repro.experiments import bench_settings
 from repro.kg import TripleSet, build_partial_benchmark, ranking_candidates
 from repro.kg.sampling import negative_triples
+from repro.utils.seeding import seeded_rng
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BATCH_SIZE = 16
@@ -50,7 +51,7 @@ def _bench_graph():
 def _training_batch(bench):
     graph = bench.train_graph
     positives = list(bench.train_triples)[:BATCH_SIZE]
-    rng = np.random.default_rng(0)
+    rng = seeded_rng(0)
     negatives = negative_triples(
         TripleSet(positives),
         num_entities=graph.num_entities,
@@ -63,7 +64,7 @@ def _training_batch(bench):
 
 def _ranking_workload(bench, num_queries=4, num_negatives=49):
     graph = bench.train_graph
-    rng = np.random.default_rng(1)
+    rng = seeded_rng(1)
     pool = sorted(graph.triples.entities())
     queries = (
         list(bench.test_triples)[:num_queries]
@@ -88,8 +89,8 @@ def _make_model(bench, float64=False):
     config = RMPIConfig(dropout=0.0, use_target_attention=True)
     if float64:
         with default_dtype("float64"):
-            return RMPI(bench.num_relations, np.random.default_rng(0), config)
-    return RMPI(bench.num_relations, np.random.default_rng(0), config)
+            return RMPI(bench.num_relations, seeded_rng(0), config)
+    return RMPI(bench.num_relations, seeded_rng(0), config)
 
 
 def _train_step(model, optimizer, graph, positives, negatives, one_pass):

@@ -17,6 +17,7 @@ from repro.core import RMPI, RMPIConfig
 from repro.eval import evaluate_both
 from repro.kg import build_partial_benchmark
 from repro.train import TrainingConfig, train_model
+from repro.utils.seeding import seeded_rng
 
 
 def main() -> None:
@@ -29,7 +30,7 @@ def main() -> None:
 
     model = RMPI(
         num_relations=benchmark.num_relations,
-        rng=np.random.default_rng(0),
+        rng=seeded_rng(0),
         config=RMPIConfig(embed_dim=32, num_layers=2, num_hops=2),
     )
     print(f"\nTraining {model.name} ({model.num_parameters()} parameters)...")

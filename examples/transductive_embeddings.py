@@ -24,6 +24,7 @@ from repro.transductive import (
     evaluate_link_prediction,
     train_transductive,
 )
+from repro.utils.seeding import seeded_rng
 
 
 def main() -> None:
@@ -43,7 +44,7 @@ def main() -> None:
             num_entities=graph.num_entities,
             num_relations=benchmark.num_relations,
             dim=32,
-            rng=np.random.default_rng(0),
+            rng=seeded_rng(0),
         )
         train_transductive(
             model,

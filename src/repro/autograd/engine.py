@@ -32,6 +32,14 @@ import numpy as np
 
 DtypeLike = Union[str, type, np.dtype]
 
+#: Dtype of score/metric arrays at the eval/serving boundaries.  Scores
+#: leave the engine as plain numpy and never re-enter autograd, so they
+#: carry no promotion hazard; keeping ranking comparisons and metric
+#: accumulation in float64 makes MRR/Hits/AUC identical whether the
+#: engine computes in float32 or float64.  This is the one sanctioned
+#: float64 constant outside this module's dtype policy (lint rule RL001).
+SCORE_DTYPE: type = np.float64
+
 _SUPPORTED_DTYPES = (np.float32, np.float64)
 
 _default_dtype: type = np.float32

@@ -466,7 +466,7 @@ def index_select(a: Tensor, index) -> Tensor:
 
     def backward(grad: np.ndarray):
         grad_a = np.zeros_like(a.data)
-        np.add.at(grad_a, index, grad)
+        np.add.at(grad_a, index, grad)  # repro-lint: disable=RL002 generic fancy-index scatter; the sort kernels require 1-D non-negative indices
         return (grad_a,)
 
     return Tensor(out_data, parents=(a,), backward_fn=backward)

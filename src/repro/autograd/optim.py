@@ -30,7 +30,7 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
         if len(grads) == 1
         else np.concatenate([g.ravel() for g in grads])
     )
-    flat = flat.astype(np.float64, copy=False)
+    flat = flat.astype(np.float64, copy=False)  # repro-lint: disable=RL001 norm accumulation in float64: one scalar out, nothing re-enters the graph
     total = float(np.sqrt(flat @ flat))
     if total > max_norm and total > 0.0:
         scale = max_norm / total

@@ -127,7 +127,7 @@ def gather(a: Tensor, index) -> Tensor:
         if index.ndim != 1 or (index.size and index.min() < 0):
             # Rare generic-indexing path: keep the scatter kernel.
             grad_a = np.zeros_like(a.data)
-            np.add.at(grad_a, index, grad)
+            np.add.at(grad_a, index, grad)  # repro-lint: disable=RL002 fallback for multi-dim/negative indices the sort kernels cannot express
             return (grad_a,)
         grad_a = _segment_sum_array(grad, index, a.shape[0])
         if grad_a.dtype != a.data.dtype:
@@ -218,7 +218,7 @@ def segment_max_constant(
     """Per-segment max computed on raw arrays (used as a stop-gradient shift)."""
     if not fast_kernels_enabled():
         out = np.full((num_segments,) + values.shape[1:], -np.inf)
-        np.maximum.at(out, segment_ids, values)
+        np.maximum.at(out, segment_ids, values)  # repro-lint: disable=RL002 legacy-kernel branch, selected only under legacy_kernels()
         out[np.isneginf(out)] = 0.0
         return out
     out = _segment_max_array(values, segment_ids, num_segments)

@@ -150,9 +150,12 @@ class Tensor:
                 )
 
         order = self._topological_order()
-        grads: dict[int, np.ndarray] = {id(self): grad}
+        # id()-keyed on purpose: every node in `order` is pinned by the
+        # traversal (and by its children's `_parents` tuples) for the whole
+        # walk, so ids cannot be recycled mid-backward.
+        grads: dict[int, np.ndarray] = {id(self): grad}  # repro-lint: disable=RL003 nodes pinned by `order` for the whole walk
         for node in order:
-            node_grad = grads.pop(id(node), None)
+            node_grad = grads.pop(id(node), None)  # repro-lint: disable=RL003 nodes pinned by `order` for the whole walk
             if node_grad is None:
                 continue
             if node.requires_grad:
@@ -168,7 +171,7 @@ class Tensor:
                     continue
                 if not (parent.requires_grad or parent._backward_fn is not None):
                     continue
-                key = id(parent)
+                key = id(parent)  # repro-lint: disable=RL003 parents pinned by node._parents for the whole walk
                 if key in grads:
                     grads[key] = grads[key] + pgrad
                 else:
@@ -184,12 +187,12 @@ class Tensor:
             if processed:
                 order.append(node)
                 continue
-            if id(node) in visited:
+            if id(node) in visited:  # repro-lint: disable=RL003 nodes pinned by the DFS stack/parents tuples during the walk
                 continue
-            visited.add(id(node))
+            visited.add(id(node))  # repro-lint: disable=RL003 nodes pinned by the DFS stack/parents tuples during the walk
             stack.append((node, True))
             for parent in node._parents:
-                if id(parent) not in visited:
+                if id(parent) not in visited:  # repro-lint: disable=RL003 nodes pinned by the DFS stack/parents tuples during the walk
                     stack.append((parent, False))
         order.reverse()
         return order

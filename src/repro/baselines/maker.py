@@ -37,12 +37,14 @@ from repro.autograd import (
     margin_ranking_loss,
     ops,
 )
+from repro.autograd.engine import get_default_dtype
 from repro.autograd.init import xavier_uniform
 from repro.autograd.segment import gather, segment_mean, segment_sum
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import negative_triples
 from repro.kg.triples import Triple, TripleSet
 from repro.subgraph.linegraph import NUM_EDGE_TYPES, connection_types
+from repro.utils.seeding import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -100,14 +102,18 @@ class MaKEr(Module):
         self._schema_proj: Optional[Linear] = None
         self._schema_vectors: Optional[Tensor] = None
         if schema_vectors is not None:
-            self._schema_vectors = Tensor(np.asarray(schema_vectors, dtype=np.float64))
+            # Engine dtype, not float64 — schema rows feed the projection
+            # Linear and would promote its matmuls (RL001).
+            self._schema_vectors = Tensor(
+                np.asarray(schema_vectors, dtype=get_default_dtype())
+            )
             self._schema_proj = Linear(schema_vectors.shape[1], embed_dim, rng, bias=False)
         self._cooccurrence_cache: Dict[int, RelationCooccurrence] = {}
         self._graph_refs: Dict[int, KnowledgeGraph] = {}
 
     # ------------------------------------------------------------------
     def _cooccurrence(self, graph: KnowledgeGraph) -> RelationCooccurrence:
-        key = id(graph)
+        key = id(graph)  # repro-lint: disable=RL003 _graph_refs pins the graph so its id cannot be recycled
         if key not in self._cooccurrence_cache:
             self._cooccurrence_cache[key] = relation_cooccurrence(graph)
             self._graph_refs[key] = graph
@@ -235,7 +241,7 @@ def train_maker(
     pretend-unseen — their embeddings are *estimated* from co-occurrence —
     so the estimation transforms learn to extrapolate.
     """
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     optimizer = Adam(model.parameters(), lr=learning_rate)
     relations = sorted(train_triples.relation_ids())
     known = set(graph.triples) | set(train_triples)

@@ -26,6 +26,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.autograd.engine import SCORE_DTYPE
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple, TripleSet
 
@@ -196,7 +197,7 @@ class RuleBasedScorer:
             for confidence in confidences:
                 miss *= 1.0 - confidence
             scores.append(1.0 - miss)
-        return np.asarray(scores, dtype=np.float64)
+        return np.asarray(scores, dtype=SCORE_DTYPE)
 
 
 def mine_and_build_scorer(

@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 import numpy as np
 
 from repro.autograd import Module, Tensor, no_grad, ops
+from repro.autograd.engine import SCORE_DTYPE
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
 
@@ -130,7 +131,7 @@ class SubgraphScoringModel(Module):
     ) -> List[Any]:
         """Memoised batch prepare: only cache misses hit :meth:`prepare_many`."""
         triples = list(triples)
-        keys = [(id(graph), tuple(int(x) for x in triple)) for triple in triples]
+        keys = [(id(graph), tuple(int(x) for x in triple)) for triple in triples]  # repro-lint: disable=RL003 _cached_graphs pins the graph so its id cannot be recycled
         missing: Dict[Tuple[int, Triple], Triple] = {
             key: key[1]
             for key in keys
@@ -141,7 +142,7 @@ class SubgraphScoringModel(Module):
             for key, sample in zip(missing, samples):
                 self._sample_cache[key] = sample
             # Keep the graph alive so id() keys stay unambiguous.
-            self._cached_graphs[id(graph)] = graph
+            self._cached_graphs[id(graph)] = graph  # repro-lint: disable=RL003 this line IS the pin backing the id() keys
         return [self._sample_cache[key] for key in keys]
 
     def install_samples(
@@ -162,10 +163,10 @@ class SubgraphScoringModel(Module):
                 f"{len(triples)} triples but {len(samples)} samples"
             )
         for triple, sample in zip(triples, samples):
-            key = (id(graph), tuple(int(x) for x in triple))
+            key = (id(graph), tuple(int(x) for x in triple))  # repro-lint: disable=RL003 _cached_graphs pins the graph so its id cannot be recycled
             self._sample_cache[key] = sample
         if len(triples):
-            self._cached_graphs[id(graph)] = graph
+            self._cached_graphs[id(graph)] = graph  # repro-lint: disable=RL003 this line IS the pin backing the id() keys
 
     def clear_cache(self) -> None:
         self._sample_cache.clear()
@@ -218,4 +219,4 @@ class SubgraphScoringModel(Module):
         finally:
             if was_training:
                 self.train()
-        return np.asarray(values, dtype=np.float64)
+        return np.asarray(values, dtype=SCORE_DTYPE)

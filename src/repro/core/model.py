@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd import ModuleList, Tensor, no_grad, ops
+from repro.autograd.engine import SCORE_DTYPE
 from repro.autograd.segment import gather
 from repro.core.base import SubgraphScoringModel
 from repro.core.config import RMPIConfig
@@ -305,7 +306,7 @@ class RMPI(SubgraphScoringModel):
         """
         from repro.core.batching import merge_plans
 
-        key = tuple(id(sample.plan) for sample in samples)
+        key = tuple(id(sample.plan) for sample in samples)  # repro-lint: disable=RL003 cache values store the plan list, pinning every keyed plan
         hit = self._merge_cache.get(key)
         if hit is not None:
             self._merge_cache.move_to_end(key)
@@ -345,7 +346,7 @@ class RMPI(SubgraphScoringModel):
         finally:
             if was_training:
                 self.train()
-        return np.asarray(scores.data, dtype=np.float64).reshape(-1)
+        return np.asarray(scores.data, dtype=SCORE_DTYPE).reshape(-1)
 
     def clear_cache(self) -> None:
         super().clear_cache()

@@ -15,6 +15,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.autograd.engine import SCORE_DTYPE
+
 
 def average_precision(labels: Sequence[int], scores: Sequence[float]) -> float:
     """AUC-PR as average precision.
@@ -23,7 +25,7 @@ def average_precision(labels: Sequence[int], scores: Sequence[float]) -> float:
     sorted by descending score (ties broken by stable order).
     """
     labels = np.asarray(labels, dtype=np.int64)
-    scores = np.asarray(scores, dtype=np.float64)
+    scores = np.asarray(scores, dtype=SCORE_DTYPE)
     if labels.shape != scores.shape:
         raise ValueError("labels and scores must be the same length")
     num_positives = int(labels.sum())
@@ -42,7 +44,7 @@ def rank_of_first(scores: Sequence[float]) -> float:
     The evaluation protocols put the ground truth first in each candidate
     list; rank 1 is best.
     """
-    scores = np.asarray(scores, dtype=np.float64)
+    scores = np.asarray(scores, dtype=SCORE_DTYPE)
     if len(scores) == 0:
         raise ValueError("empty candidate list")
     target = scores[0]
@@ -53,7 +55,7 @@ def rank_of_first(scores: Sequence[float]) -> float:
 
 def mrr(ranks: Iterable[float]) -> float:
     """Mean reciprocal rank, in percent (paper convention)."""
-    ranks = np.asarray(list(ranks), dtype=np.float64)
+    ranks = np.asarray(list(ranks), dtype=SCORE_DTYPE)
     if len(ranks) == 0:
         return 0.0
     return float((1.0 / ranks).mean() * 100.0)
@@ -61,7 +63,7 @@ def mrr(ranks: Iterable[float]) -> float:
 
 def hits_at(ranks: Iterable[float], n: int = 10) -> float:
     """Fraction of ranks <= n, in percent."""
-    ranks = np.asarray(list(ranks), dtype=np.float64)
+    ranks = np.asarray(list(ranks), dtype=SCORE_DTYPE)
     if len(ranks) == 0:
         return 0.0
     return float((ranks <= n).mean() * 100.0)

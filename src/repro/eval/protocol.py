@@ -28,6 +28,7 @@ from repro.eval.metrics import average_precision, hits_at, mrr, rank_of_first
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import negative_triples, ranking_candidates
 from repro.kg.triples import Triple, TripleSet
+from repro.utils.seeding import seeded_rng
 
 
 class TripleScorer(Protocol):
@@ -285,18 +286,18 @@ def evaluate_both(
 
         with ParallelEvaluator(model, graph, workers=workers, seed=seed) as evaluator:
             classification = evaluator.triple_classification(
-                targets, np.random.default_rng((seed, 1))
+                targets, seeded_rng((seed, 1))
             )
             ranking = evaluator.entity_prediction(
                 targets,
-                np.random.default_rng((seed, 2)),
+                seeded_rng((seed, 2)),
                 num_negatives=num_negatives,
             )
             return EvaluationReport(classification=classification, ranking=ranking)
     classification = evaluate_triple_classification(
-        model, graph, targets, np.random.default_rng((seed, 1))
+        model, graph, targets, seeded_rng((seed, 1))
     )
     ranking = evaluate_entity_prediction(
-        model, graph, targets, np.random.default_rng((seed, 2)), num_negatives=num_negatives
+        model, graph, targets, seeded_rng((seed, 2)), num_negatives=num_negatives
     )
     return EvaluationReport(classification=classification, ranking=ranking)

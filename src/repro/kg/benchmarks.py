@@ -32,6 +32,7 @@ from repro.kg.hashing import stable_hash
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.ontology import Ontology, build_ontology
 from repro.kg.triples import TripleSet
+from repro.utils.seeding import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -238,7 +239,7 @@ def build_partial_benchmark(
     ontology = family_ontology(family)
     index = version - 1
     relations = set(range(config.relations[index]))
-    rng = np.random.default_rng((seed, stable_hash(family), version))
+    rng = seeded_rng((seed, stable_hash(family), version))
 
     n_train_ent = _scaled(config.train_entities[index], scale, 40)
     n_train_base = _scaled(config.train_triples[index], scale * 0.55, 60)
@@ -280,7 +281,7 @@ def build_full_benchmark(
     if config.relations[test_version - 1] <= config.relations[train_version - 1]:
         raise ValueError("test version must contribute extra relations")
     ontology = family_ontology(family)
-    rng = np.random.default_rng((seed, stable_hash(family), train_version, test_version))
+    rng = seeded_rng((seed, stable_hash(family), train_version, test_version))
 
     train_relations = set(range(config.relations[train_version - 1]))
     test_relations = set(range(config.relations[test_version - 1]))
@@ -351,7 +352,7 @@ def build_ext_benchmark(
     """
     config = FAMILIES[family]
     ontology = family_ontology(family)
-    rng = np.random.default_rng((seed, stable_hash(family), 99))
+    rng = seeded_rng((seed, stable_hash(family), 99))
 
     core_relations = set(range(config.relations[0]))
     ext_relations = set(

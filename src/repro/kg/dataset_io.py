@@ -31,6 +31,7 @@ from repro.kg.io import load_triples_tsv, save_triples_tsv
 from repro.kg.ontology import Ontology, RelationSignature
 from repro.kg.triples import TripleSet
 from repro.kg.vocab import Vocabulary
+from repro.utils.seeding import seeded_rng
 
 
 def save_benchmark(benchmark: InductiveBenchmark, root: str) -> None:
@@ -105,7 +106,7 @@ def load_benchmark(
         )
         train_targets = train_graph_triples
     else:
-        rng = np.random.default_rng(seed)
+        rng = seeded_rng(seed)
         order = rng.permutation(len(train_graph_triples))
         cut = int(train_fraction * len(train_graph_triples))
         array = train_graph_triples.array[order]

@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.utils.seeding import seeded_rng
+
 
 @dataclass(frozen=True)
 class RelationSignature:
@@ -146,7 +148,7 @@ def build_ontology(
     """
     if num_extension_relations >= num_relations:
         raise ValueError("extension relations must be a strict subset")
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
 
     # Concept hierarchy: a root, a layer of branches, a layer of leaves.
     num_branches = max(2, num_concepts // 4)

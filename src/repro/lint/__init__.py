@@ -1,0 +1,44 @@
+"""`repro.lint` — project-specific AST static analysis.
+
+Every rule in this package encodes an invariant this codebase has already
+paid for in debugging time: silent float64 promotion in backward closures
+(PR 4), an ``id()``-keyed cache aliasing a recycled object id (PR 5), a
+seed-entropy collision in ``derive_seed`` (PR 5), and the fork-safety
+contract of ``repro.parallel``.  Instead of relying on reviewer vigilance,
+the linter walks every file once and reports violations; CI runs it as a
+hard gate (``python -m repro.lint src tests benchmarks``).
+
+Framework shape:
+
+* :mod:`repro.lint.walker`     — file discovery, suppression parsing, the
+  single-pass AST dispatch;
+* :mod:`repro.lint.registry`   — the rule registry (``@register_rule``);
+* :mod:`repro.lint.rules`      — the project rules (RL001–RL007);
+* :mod:`repro.lint.reporting`  — :class:`Violation` and text/JSON output;
+* :mod:`repro.lint.baseline`   — the committed-baseline escape hatch
+  (empty on ``main``: new violations are fixed or suppressed, not parked);
+* :mod:`repro.lint.config`     — ``[tool.repro-lint]`` in ``pyproject.toml``.
+
+Inline suppressions use ``# repro-lint: disable=RL00x <reason>`` — the
+reason is mandatory and missing/unknown codes are themselves violations
+(RL000), so every suppression doubles as documentation of *why* the
+invariant is safe to break at that site.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.registry import all_rules, register_rule
+from repro.lint.reporting import Violation, render_json, render_text
+from repro.lint.walker import LintRun, lint_paths, lint_sources
+
+__all__ = [
+    "LintConfig",
+    "LintRun",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "lint_sources",
+    "load_config",
+    "register_rule",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,133 @@
+"""CLI: ``python -m repro.lint [paths] [--format text|json] [--select/--ignore RULE]``.
+
+Exit status: 0 when clean (after suppressions and baseline), 1 when
+violations remain, 2 on usage errors.  ``--write-baseline`` records the
+current violations instead of failing (for staging large cleanups); the
+committed baseline on main stays empty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import filter_baselined, load_baseline, write_baseline
+from repro.lint.config import LintConfig, load_config
+from repro.lint.registry import all_rules
+from repro.lint.reporting import render_json, render_text
+from repro.lint.walker import lint_paths
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-specific AST invariant checker (rules RL001-RL007).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only these rules (repeatable / comma-separated)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="disable these rules (repeatable / comma-separated)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="project root holding pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: [tool.repro-lint].baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current violations as the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _split_codes(values: Sequence[str]) -> List[str]:
+    codes: List[str] = []
+    for value in values:
+        codes.extend(code.strip() for code in value.split(",") if code.strip())
+    return codes
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, rule in sorted(all_rules().items()):
+            print(f"{code}  {rule.name:24s} {rule.summary}")
+        return 0
+
+    file_config = load_config(args.root)
+    select = _split_codes(args.select) or file_config.select
+    ignore = _split_codes(args.ignore) or file_config.ignore
+    config = LintConfig(
+        select=tuple(select),
+        ignore=tuple(ignore),
+        baseline=args.baseline or file_config.baseline,
+        per_path_ignores=file_config.per_path_ignores,
+        root=args.root,
+    )
+
+    try:
+        violations, files_scanned = lint_paths(args.paths, config)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        config.baseline
+        if os.path.isabs(config.baseline)
+        else os.path.join(config.root, config.baseline)
+    )
+    if args.write_baseline:
+        write_baseline(baseline_path, violations)
+        print(
+            f"wrote {len(violations)} baseline entries to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+    violations = filter_baselined(violations, load_baseline(baseline_path))
+
+    if args.format == "json":
+        print(render_json(violations, files_scanned))
+    else:
+        print(render_text(violations, files_scanned))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Committed-baseline support.
+
+A baseline lets the linter land as a hard CI gate while a cleanup is in
+flight: known violations are parked in ``lint-baseline.json`` and only
+*new* ones fail the build.  Policy for this repository: the baseline is
+**empty on main** — the sweep that shipped with the linter fixed or
+inline-suppressed (with reasons) every pre-existing violation, and the
+file exists so a future large refactor can stage its cleanup without
+turning the gate off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Sequence, Set, Tuple
+
+from repro.lint.reporting import Violation
+
+_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+def load_baseline(path: str) -> Set[BaselineKey]:
+    """Read baseline entries; a missing file is an empty baseline."""
+    if not os.path.isfile(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    return {
+        (str(entry["rule"]), str(entry["path"]), str(entry["message"]))
+        for entry in payload.get("entries", [])
+    }
+
+
+def write_baseline(path: str, violations: Sequence[Violation]) -> None:
+    """Persist ``violations`` as the new baseline (sorted, stable diff)."""
+    entries = sorted(
+        (
+            {"rule": v.rule, "path": v.path, "message": v.message}
+            for v in violations
+        ),
+        key=lambda entry: (entry["path"], entry["rule"], entry["message"]),
+    )
+    payload = {"version": _VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def filter_baselined(
+    violations: Sequence[Violation], baseline: Set[BaselineKey]
+) -> List[Violation]:
+    """Drop violations already recorded in the baseline."""
+    return [v for v in violations if v.key() not in baseline]

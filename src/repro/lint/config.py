@@ -1,0 +1,84 @@
+"""``[tool.repro-lint]`` configuration loading.
+
+The committed configuration lives in ``pyproject.toml``; on interpreters
+without ``tomllib`` (< 3.11, where no TOML parser is baked in) the loader
+falls back to :data:`FALLBACK_CONFIG`, a Python mirror of the committed
+section.  ``tests/test_lint.py`` asserts the two stay in sync whenever
+``tomllib`` is importable, so the mirror cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback, exercised in CI
+    tomllib = None  # type: ignore[assignment]
+
+#: Mirror of the committed ``[tool.repro-lint]`` section (see
+#: ``pyproject.toml`` for the rationale comments on each entry).
+FALLBACK_CONFIG: Dict[str, Any] = {
+    "select": [],
+    "ignore": [],
+    "baseline": "lint-baseline.json",
+    "per-path-ignores": {
+        "tests/": ["RL001", "RL004"],
+    },
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved linter configuration."""
+
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+    baseline: str = "lint-baseline.json"
+    per_path_ignores: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
+    root: str = "."
+
+    def ignored_rules_for(self, path: str) -> Tuple[str, ...]:
+        """Rules disabled for ``path`` (project-relative, posix slashes)."""
+        ignored: List[str] = []
+        for pattern, rules in self.per_path_ignores:
+            prefix = pattern.rstrip("/") + "/"
+            if path.startswith(prefix) or fnmatch.fnmatch(path, pattern):
+                ignored.extend(rules)
+        return tuple(ignored)
+
+
+def _from_mapping(raw: Mapping[str, Any], root: str) -> LintConfig:
+    per_path = raw.get("per-path-ignores", {})
+    return LintConfig(
+        select=tuple(str(code) for code in raw.get("select", [])),
+        ignore=tuple(str(code) for code in raw.get("ignore", [])),
+        baseline=str(raw.get("baseline", "lint-baseline.json")),
+        per_path_ignores=tuple(
+            (str(pattern), tuple(str(code) for code in rules))
+            for pattern, rules in per_path.items()
+        ),
+        root=root,
+    )
+
+
+def load_config(root: str = ".") -> LintConfig:
+    """Load ``[tool.repro-lint]`` from ``<root>/pyproject.toml``.
+
+    Missing file/section or missing TOML parser both fall back to
+    :data:`FALLBACK_CONFIG` so the linter behaves identically everywhere.
+    """
+    pyproject = os.path.join(root, "pyproject.toml")
+    raw: Mapping[str, Any] = FALLBACK_CONFIG
+    if tomllib is not None and os.path.isfile(pyproject):
+        with open(pyproject, "rb") as handle:
+            parsed = tomllib.load(handle)
+        section: Optional[Mapping[str, Any]] = parsed.get("tool", {}).get(
+            "repro-lint"
+        )
+        if section is not None:
+            raw = section
+    return _from_mapping(raw, root)

@@ -1,0 +1,94 @@
+"""Rule registry for :mod:`repro.lint`.
+
+Rules are classes registered with :func:`register_rule`; the walker
+instantiates one object per rule per run (rules may carry cross-file state
+for project-level invariants) and dispatches AST nodes to every rule that
+declared interest in the node's type — one tree walk per file regardless
+of how many rules are active.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, Sequence, Tuple, Type
+
+from repro.lint.reporting import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.lint.walker import FileContext, LintRun
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` (``RL0xx``), ``name`` (kebab-case slug),
+    ``summary`` (one line for ``--list-rules`` and docs) and
+    ``node_types`` (the AST node classes :meth:`visit` wants to see).
+    """
+
+    code: str = "RL000"
+    name: str = "abstract"
+    summary: str = ""
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def begin_file(self, ctx: "FileContext") -> None:
+        """Per-file setup before any :meth:`visit` call."""
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> Iterator[Violation]:
+        """Check one node; yields violations."""
+        return iter(())
+
+    def end_file(self, ctx: "FileContext") -> Iterator[Violation]:
+        """Per-file wrap-up after the walk."""
+        return iter(())
+
+    def finalize(self, run: "LintRun") -> Iterator[Violation]:
+        """Project-level wrap-up after every file was walked (cross-file
+        rules emit here)."""
+        return iter(())
+
+    def violation(
+        self, node: ast.AST, ctx: "FileContext", message: str
+    ) -> Violation:
+        line = int(getattr(node, "lineno", 1))
+        column = int(getattr(node, "col_offset", 0)) + 1
+        return Violation(self.code, ctx.path, line, column, message)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.code or cls.code == Rule.code:
+        raise ValueError(f"rule {cls.__name__} must define a unique code")
+    existing = _REGISTRY.get(cls.code)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"rule code {cls.code} already registered")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Registered rules by code (import :mod:`repro.lint.rules` first)."""
+    import repro.lint.rules  # noqa: F401  — registers the project rules
+
+    return dict(_REGISTRY)
+
+
+def resolve_rules(
+    select: Sequence[str] = (), ignore: Sequence[str] = ()
+) -> Iterable[Rule]:
+    """Instantiate the active rule set.
+
+    ``select`` empty means "all registered"; ``ignore`` always wins.
+    Unknown codes raise so a typo in config can't silently disable a gate.
+    """
+    registry = all_rules()
+    for code in (*select, *ignore):
+        if code not in registry:
+            raise KeyError(
+                f"unknown rule code {code!r}; known: {sorted(registry)}"
+            )
+    active = list(select) if select else sorted(registry)
+    return [registry[code]() for code in active if code not in set(ignore)]

@@ -1,0 +1,60 @@
+"""Violation record and output rendering for :mod:`repro.lint`."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location.
+
+    ``line``/``column`` are 1-based (column 1-based to match editors and
+    compiler output, unlike ``ast``'s 0-based ``col_offset``).
+    """
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers shift under unrelated edits, so
+        the baseline matches on ``(rule, path, message)`` only."""
+        return (self.rule, self.path, self.message)
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule)
+
+
+def render_text(violations: Sequence[Violation], files_scanned: int) -> str:
+    """Compiler-style ``path:line:col: RULE message`` lines + a summary."""
+    lines: List[str] = [
+        f"{v.path}:{v.line}:{v.column}: {v.rule} {v.message}"
+        for v in sorted(violations, key=Violation.sort_key)
+    ]
+    noun = "violation" if len(violations) == 1 else "violations"
+    lines.append(f"{len(violations)} {noun} in {files_scanned} files")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], files_scanned: int) -> str:
+    """Machine-readable output for CI annotation tooling."""
+    payload = {
+        "files_scanned": files_scanned,
+        "count": len(violations),
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "column": v.column,
+                "message": v.message,
+            }
+            for v in sorted(violations, key=Violation.sort_key)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

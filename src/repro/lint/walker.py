@@ -1,0 +1,331 @@
+"""File discovery, suppression parsing and the single-pass AST walk.
+
+Each file is parsed once and walked once; every active rule that declared
+interest in a node's type sees the node during that walk.  Cross-file
+rules stash state on themselves and emit from ``finalize`` after the last
+file.
+
+Suppressions are trailing or standalone comments::
+
+    value = id(graph)  # repro-lint: disable=RL003 value dict keeps graph alive
+    # repro-lint: disable=RL001 scores are float64 by serving contract
+    out = np.asarray(scores, dtype=np.float64)
+
+A standalone suppression applies to the next line; a trailing one to its
+own line.  The reason text after the rule list is **mandatory** — a
+suppression without one (or with an unknown rule code) is itself reported
+as RL000, so the escape hatch cannot rot into unexplained mutes.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+from repro.lint.config import LintConfig
+from repro.lint.registry import Rule, all_rules, resolve_rules
+from repro.lint.reporting import Violation
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z]{2}\d{3}(?:\s*,\s*[A-Za-z]{2}\d{3})*)"
+    r"(?P<reason>.*)$"
+)
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "results", ".mypy_cache"}
+
+
+@dataclass
+class Suppression:
+    """One parsed ``repro-lint: disable=...`` comment."""
+
+    codes: Tuple[str, ...]
+    reason: str
+    comment_line: int
+    target_line: int
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may ask about the file being walked."""
+
+    path: str  # project-relative, posix slashes
+    source: str
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+    #: child -> parent links for the whole tree (ast nodes hash by identity).
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: local names bound to the numpy module (``np``, ``numpy``).
+    numpy_aliases: Set[str] = field(default_factory=set)
+    #: names assigned at module scope (module-global mutable state).
+    module_globals: Set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_functions(self, node: ast.AST) -> Iterator[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield ancestor
+
+    def in_legacy_function(self, node: ast.AST) -> bool:
+        """True inside a ``legacy_*`` reference implementation."""
+        return any(
+            fn.name.startswith("legacy_")
+            for fn in self.enclosing_functions(node)
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+
+    def is_numpy_attr(self, node: ast.AST, *path: str) -> bool:
+        """Whether ``node`` is an attribute chain ``np.<path...>``."""
+        for part in reversed(path):
+            if not isinstance(node, ast.Attribute) or node.attr != part:
+                return False
+            node = node.value
+        return isinstance(node, ast.Name) and node.id in self.numpy_aliases
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract suppression comments via ``tokenize`` (comments inside
+    string literals are not comments and never match)."""
+    suppressions: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip().upper() for code in match.group("codes").split(",")
+        )
+        reason = match.group("reason").strip()
+        line = token.start[0]
+        standalone = token.line.strip().startswith("#")
+        suppressions.append(
+            Suppression(
+                codes=codes,
+                reason=reason,
+                comment_line=line,
+                target_line=line + 1 if standalone else line,
+            )
+        )
+    return suppressions
+
+
+def build_context(path: str, source: str, tree: ast.Module) -> FileContext:
+    """One prep walk: parent links, numpy aliases, module-global names."""
+    ctx = FileContext(path=path, source=source, tree=tree)
+    ctx.suppressions = parse_suppressions(source)
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            ctx.parents[child] = node
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    ctx.numpy_aliases.add(alias.asname or "numpy")
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                ctx.module_globals.add(target.id)
+    return ctx
+
+
+@dataclass
+class LintRun:
+    """State shared across one full lint invocation."""
+
+    config: LintConfig
+    rules: List[Rule] = field(default_factory=list)
+    contexts: Dict[str, FileContext] = field(default_factory=dict)
+    files_scanned: int = 0
+
+    @property
+    def root(self) -> str:
+        return self.config.root
+
+    def load_extra_file(self, path: str) -> Optional[FileContext]:
+        """Parse a file that was not part of the scanned set (cross-file
+        rules that need, e.g., the parity-test modules regardless of which
+        paths the CLI was pointed at)."""
+        relative = _relpath(path, self.root)
+        if relative in self.contexts:
+            return self.contexts[relative]
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source)
+        except (OSError, SyntaxError):
+            return None
+        ctx = build_context(relative, source, tree)
+        self.contexts[relative] = ctx
+        return ctx
+
+
+def _relpath(path: str, root: str) -> str:
+    relative = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    return relative.replace(os.sep, "/")
+
+
+def discover_files(paths: Sequence[str], root: str) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for entry in paths:
+        full = entry if os.path.isabs(entry) else os.path.join(root, entry)
+        if os.path.isfile(full):
+            found.append(full)
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames[:] = sorted(
+                name for name in dirnames if name not in _SKIP_DIRS
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    found.append(os.path.join(dirpath, name))
+    return found
+
+
+def _apply_suppressions(
+    violations: Iterable[Violation], ctx: FileContext, known_codes: Set[str]
+) -> Iterator[Violation]:
+    """Drop suppressed violations; emit RL000 for malformed suppressions."""
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in ctx.suppressions:
+        by_line.setdefault(suppression.target_line, []).append(suppression)
+    for violation in violations:
+        suppressed = False
+        for suppression in by_line.get(violation.line, []):
+            if violation.rule in suppression.codes and suppression.reason:
+                suppressed = True
+                break
+        if not suppressed:
+            yield violation
+    for suppression in ctx.suppressions:
+        if not suppression.reason:
+            yield Violation(
+                "RL000",
+                ctx.path,
+                suppression.comment_line,
+                1,
+                "suppression without a reason: every "
+                "'repro-lint: disable=...' must justify itself",
+            )
+        for code in suppression.codes:
+            if code not in known_codes:
+                yield Violation(
+                    "RL000",
+                    ctx.path,
+                    suppression.comment_line,
+                    1,
+                    f"suppression names unknown rule {code}",
+                )
+
+
+def lint_sources(
+    sources: Sequence[Tuple[str, str]],
+    config: Optional[LintConfig] = None,
+) -> List[Violation]:
+    """Lint in-memory ``(path, source)`` pairs (the test harness entry)."""
+    config = config or LintConfig()
+    run = LintRun(config=config, rules=list(resolve_rules(config.select, config.ignore)))
+    violations: List[Violation] = []
+    known_codes = set(all_rules()) | {"RL000"}
+
+    dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in run.rules:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+
+    for path, source in sources:
+        path = path.replace(os.sep, "/")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            violations.append(
+                Violation(
+                    "RL000",
+                    path,
+                    int(error.lineno or 1),
+                    int(error.offset or 1),
+                    f"syntax error: {error.msg}",
+                )
+            )
+            continue
+        ctx = build_context(path, source, tree)
+        run.contexts[path] = ctx
+        run.files_scanned += 1
+        path_ignored = set(config.ignored_rules_for(path))
+        file_violations: List[Violation] = []
+        for rule in run.rules:
+            rule.begin_file(ctx)
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                file_violations.extend(rule.visit(node, ctx))
+        for rule in run.rules:
+            file_violations.extend(rule.end_file(ctx))
+        file_violations = [
+            v for v in file_violations if v.rule not in path_ignored
+        ]
+        violations.extend(
+            _apply_suppressions(file_violations, ctx, known_codes)
+        )
+
+    # Cross-file rules run after every file was seen; their violations are
+    # filtered through the owning file's suppressions and path ignores.
+    for rule in run.rules:
+        for violation in rule.finalize(run):
+            if violation.rule in set(config.ignored_rules_for(violation.path)):
+                continue
+            ctx = run.contexts.get(violation.path)
+            if ctx is not None:
+                kept = list(
+                    _apply_suppressions([violation], ctx, known_codes)
+                )
+                # _apply_suppressions re-reports malformed suppressions on
+                # every call; only keep the violation itself here.
+                violations.extend(
+                    v for v in kept if v.key() == violation.key()
+                )
+            else:
+                violations.append(violation)
+    return sorted(set(violations), key=Violation.sort_key)
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> Tuple[List[Violation], int]:
+    """Lint files/directories on disk; returns (violations, files scanned)."""
+    config = config or LintConfig()
+    files = discover_files(paths, config.root)
+    sources: List[Tuple[str, str]] = []
+    for full in files:
+        with open(full, "r", encoding="utf-8") as handle:
+            sources.append((_relpath(full, config.root), handle.read()))
+    return lint_sources(sources, config), len(sources)

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.autograd import no_grad
+from repro.autograd.engine import SCORE_DTYPE
 from repro.core.base import SubgraphScoringModel
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
@@ -69,11 +70,11 @@ def score_triples_sharded(
     """
     triples = list(triples)
     if not triples:
-        return np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=SCORE_DTYPE)
     shards = [[shard] for shard in shard_list(triples, pool.workers)]
     per_shard = merge_shards(pool.run("score_queries", shards))
     return np.concatenate(
-        [np.asarray(scores, dtype=np.float64).reshape(-1) for scores in per_shard]
+        [np.asarray(scores, dtype=SCORE_DTYPE).reshape(-1) for scores in per_shard]
     )
 
 

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Sequence
 import numpy as np
 
 from repro.autograd import no_grad
+from repro.autograd.engine import SCORE_DTYPE
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
 from repro.parallel.pool import WorkerPool, register_op
@@ -31,7 +32,7 @@ def _serve_score_op(state: Dict[str, Any], payload: Dict[str, Any]) -> np.ndarra
     this rank's shard through the session's scoring semantics."""
     triples: List[Triple] = payload["triples"]
     if not triples:
-        return np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=SCORE_DTYPE)
     context = state["context"]
     registry = context["registry"]
     graph: KnowledgeGraph = context["graph"]
@@ -43,7 +44,7 @@ def _serve_score_op(state: Dict[str, Any], payload: Dict[str, Any]) -> np.ndarra
         else entry.model.score_triples
     )
     with no_grad():
-        return np.asarray(scorer(graph, triples), dtype=np.float64).reshape(-1)
+        return np.asarray(scorer(graph, triples), dtype=SCORE_DTYPE).reshape(-1)
 
 
 def scoring_pool(
@@ -78,12 +79,12 @@ def score_batch_sharded(
     """Scores for ``triples`` (order-aligned), sharded across the pool."""
     triples = list(triples)
     if not triples:
-        return np.empty(0, dtype=np.float64)
+        return np.empty(0, dtype=SCORE_DTYPE)
     payloads = [
         {"model": model_key, "triples": shard}
         for shard in shard_list(triples, pool.workers)
     ]
     parts = pool.run("serve_score", payloads)
     return np.concatenate(
-        [np.asarray(part, dtype=np.float64).reshape(-1) for part in parts]
+        [np.asarray(part, dtype=SCORE_DTYPE).reshape(-1) for part in parts]
     )

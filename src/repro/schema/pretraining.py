@@ -20,6 +20,7 @@ from repro.transductive import (
     create_model,
     train_transductive,
 )
+from repro.utils.seeding import seeded_rng
 
 
 def pretrain_schema_with(
@@ -35,7 +36,7 @@ def pretrain_schema_with(
     the relation role.  The returned array has one row per *KG relation*
     (rows ``0..num_relations-1`` of the schema node space).
     """
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     model = create_model(
         model_name,
         num_entities=schema.num_nodes,

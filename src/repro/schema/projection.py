@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Linear, Module, Tensor
+from repro.autograd.engine import get_default_dtype
 from repro.autograd.segment import gather
 
 
@@ -24,7 +25,11 @@ class SchemaProjection(Module):
         hidden_dim: int = 0,
     ) -> None:
         super().__init__()
-        self.schema_vectors = Tensor(np.asarray(schema_vectors, dtype=np.float64))
+        # Engine dtype: these vectors multiply float32 Linear weights; a
+        # float64 constant here would promote the whole projection (RL001).
+        self.schema_vectors = Tensor(
+            np.asarray(schema_vectors, dtype=get_default_dtype())
+        )
         schema_dim = self.schema_vectors.shape[1]
         hidden_dim = hidden_dim or output_dim
         self.inner = Linear(schema_dim, hidden_dim, rng, bias=False)

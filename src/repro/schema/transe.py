@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.schema.ontology import NUM_META_RELATIONS, SchemaGraph
+from repro.utils.seeding import seeded_rng
 
 
 @dataclass
@@ -39,7 +40,7 @@ class TransE:
     def __init__(self, schema: SchemaGraph, config: Optional[TransEConfig] = None) -> None:
         self.schema = schema
         self.config = config or TransEConfig()
-        rng = np.random.default_rng(self.config.seed)
+        rng = seeded_rng(self.config.seed)
         bound = 6.0 / np.sqrt(self.config.dim)
         self.node_embeddings = rng.uniform(
             -bound, bound, size=(schema.num_nodes, self.config.dim)
@@ -112,12 +113,15 @@ class TransE:
                 node_update = np.zeros_like(self.node_embeddings)
                 meta_update = np.zeros_like(self.meta_embeddings)
                 idx = np.nonzero(active)[0]
-                np.add.at(node_update, heads[idx], pos_grad[idx])
-                np.add.at(node_update, tails[idx], -pos_grad[idx])
-                np.add.at(meta_update, metas[idx], pos_grad[idx])
-                np.add.at(node_update, neg_heads[idx], -neg_grad[idx])
-                np.add.at(node_update, neg_tails[idx], neg_grad[idx])
-                np.add.at(meta_update, metas[idx], -neg_grad[idx])
+                # Scatter form kept on purpose: schema pretraining runs
+                # once per ontology on tiny schema graphs (hundreds of
+                # rows), outside the autograd engine and its sort kernels.
+                np.add.at(node_update, heads[idx], pos_grad[idx])  # repro-lint: disable=RL002 one-shot schema pretraining, cold path outside the engine
+                np.add.at(node_update, tails[idx], -pos_grad[idx])  # repro-lint: disable=RL002 one-shot schema pretraining, cold path outside the engine
+                np.add.at(meta_update, metas[idx], pos_grad[idx])  # repro-lint: disable=RL002 one-shot schema pretraining, cold path outside the engine
+                np.add.at(node_update, neg_heads[idx], -neg_grad[idx])  # repro-lint: disable=RL002 one-shot schema pretraining, cold path outside the engine
+                np.add.at(node_update, neg_tails[idx], neg_grad[idx])  # repro-lint: disable=RL002 one-shot schema pretraining, cold path outside the engine
+                np.add.at(meta_update, metas[idx], -neg_grad[idx])  # repro-lint: disable=RL002 one-shot schema pretraining, cold path outside the engine
                 self.node_embeddings -= lr * node_update
                 self.meta_embeddings -= lr * meta_update
             self._normalise_nodes()

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.autograd.engine import SCORE_DTYPE
 from repro.kg.triples import Triple
 from repro.serve.session import InferenceSession
 
@@ -190,7 +191,7 @@ class MicroBatchScheduler:
             model=model,
         )
         if not request.triples:
-            request.future.set_result(np.empty(0, dtype=np.float64))
+            request.future.set_result(np.empty(0, dtype=SCORE_DTYPE))
             return request.future
         self._queue.put(request)
         return request.future

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.autograd import no_grad
+from repro.autograd.engine import SCORE_DTYPE
 from repro.eval.protocol import (
     candidate_entity_pool,
     known_fact_set,
@@ -50,7 +51,7 @@ def rank_predictions(
     """
     if side not in ("head", "tail"):
         raise ValueError(f"side must be 'head' or 'tail', got {side!r}")
-    scores = np.asarray(scores, dtype=np.float64)
+    scores = np.asarray(scores, dtype=SCORE_DTYPE)
     order = np.argsort(-scores, kind="stable")[: max(int(k), 0)]
     position = 0 if side == "head" else 2
     return [(int(triples[i][position]), float(scores[i])) for i in order]
@@ -166,13 +167,13 @@ class InferenceSession:
                 # batch forward free of autograd bookkeeping.
                 with no_grad():
                     fresh = np.asarray(
-                        scorer(self.graph, batch), dtype=np.float64
+                        scorer(self.graph, batch), dtype=SCORE_DTYPE
                     ).reshape(-1)
             for triple, value in zip(batch, fresh):
                 self.cache.put((entry.key, fingerprint, triple), float(value))
                 for position in missing[triple]:
                     values[position] = float(value)
-        return np.asarray(values, dtype=np.float64)
+        return np.asarray(values, dtype=SCORE_DTYPE)
 
     # ------------------------------------------------------------------
     def tail_candidates(

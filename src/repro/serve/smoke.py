@@ -19,6 +19,7 @@ from repro.kg import build_partial_benchmark
 from repro.serve.client import ServingClient
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import ServingApp, ServingConfig, ServingServer
+from repro.utils.seeding import seeded_rng
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -26,7 +27,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     registry = ModelRegistry()
     registry.register(
         "RMPI-base",
-        RMPI(benchmark.num_relations, np.random.default_rng(0), RMPIConfig(embed_dim=16)),
+        RMPI(benchmark.num_relations, seeded_rng(0), RMPIConfig(embed_dim=16)),
         meta={"benchmark": benchmark.name},
     )
     app = ServingApp(

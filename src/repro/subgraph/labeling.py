@@ -16,6 +16,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from repro.autograd.engine import get_default_dtype
 from repro.subgraph.extraction import ExtractedSubgraph
 
 
@@ -79,7 +80,10 @@ def encode_labels(subgraph: ExtractedSubgraph) -> Tuple[np.ndarray, Dict[int, in
     max_hops = subgraph.num_hops
     dim = label_feature_dim(max_hops)
     index = {entity: i for i, entity in enumerate(subgraph.entities)}
-    features = np.zeros((len(subgraph.entities), dim), dtype=np.float64)
+    # Engine dtype, not float64: these rows become Tensor inputs in the
+    # GraIL/CoMPILE baselines and would silently promote every downstream
+    # matmul (the PR 4 bug class RL001 encodes).
+    features = np.zeros((len(subgraph.entities), dim), dtype=get_default_dtype())
     for entity, (d_u, d_v) in labels.items():
         row = index[entity]
         features[row, d_u] = 1.0

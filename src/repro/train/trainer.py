@@ -24,6 +24,7 @@ from repro.eval.protocol import evaluate_triple_classification
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import negative_triples
 from repro.kg.triples import TripleSet
+from repro.utils.seeding import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -89,7 +90,7 @@ class Trainer:
         self.valid_triples = valid_triples
         self.config = config or TrainingConfig()
         self.optimizer = Adam(model.parameters(), lr=self.config.learning_rate)
-        self._rng = np.random.default_rng(self.config.seed)
+        self._rng = seeded_rng(self.config.seed)
         self._known = set(graph.triples) | set(train_triples)
         self._entities = sorted(graph.triples.entities())
 
@@ -194,7 +195,7 @@ class Trainer:
             self.model,
             self.graph,
             self.valid_triples,
-            np.random.default_rng((self.config.seed, 7, epoch)),
+            seeded_rng((self.config.seed, 7, epoch)),
         )
         return result.auc_pr
 

@@ -18,6 +18,7 @@ from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import ranking_candidates
 from repro.kg.triples import TripleSet
 from repro.transductive.models import TransductiveModel
+from repro.utils.seeding import seeded_rng
 
 
 @dataclass(frozen=True)
@@ -41,7 +42,7 @@ def train_transductive(
 ) -> List[float]:
     """Train on a triple set; returns per-epoch mean losses."""
     config = config or TransductiveTrainingConfig()
-    rng = np.random.default_rng(config.seed)
+    rng = seeded_rng(config.seed)
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     array = triples.array
     known = set(triples)
@@ -97,7 +98,7 @@ def evaluate_link_prediction(
     seed: int = 0,
 ) -> LinkPredictionResult:
     """Rank each test triple's truth against sampled corruptions."""
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng(seed)
     known_set = set(known) | set(triples)
     ranks = []
     for triple in triples:

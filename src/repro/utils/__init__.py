@@ -1,9 +1,17 @@
 """`repro.utils` — cross-cutting helpers (deterministic seeding)."""
 
-from repro.utils.seeding import derive_seed, seed_everything, worker_rng
+from repro.utils.seeding import (
+    SeedLike,
+    derive_seed,
+    seed_everything,
+    seeded_rng,
+    worker_rng,
+)
 
 __all__ = [
+    "SeedLike",
     "derive_seed",
     "seed_everything",
+    "seeded_rng",
     "worker_rng",
 ]

@@ -93,6 +93,98 @@ class TestScoreCache:
         assert cache.get(("m", "fp", (0, 0, 0))) is None
 
 
+class TestScoreCacheEdgeCases:
+    def test_capacity_zero_never_stores_but_still_counts_misses(self):
+        cache = ScoreCache(maxsize=0)
+        keys = [("m", "fp", (i, 0, 0)) for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.put(key, float(i))
+            assert cache.get(key) is None
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 3
+        # Invalidation and clear on a disabled cache are harmless no-ops.
+        assert cache.invalidate_graph("fp") == 0
+        cache.clear()
+        assert cache.stats()["entries"] == 0
+
+    def test_capacity_one_keeps_exactly_the_latest_entry(self):
+        cache = ScoreCache(maxsize=1)
+        a, b = ("m", "fp", (0, 0, 0)), ("m", "fp", (1, 0, 0))
+        cache.put(a, 1.0)
+        assert cache.get(a) == 1.0
+        cache.put(b, 2.0)  # displaces a: capacity one holds one entry
+        assert len(cache) == 1
+        assert cache.get(a) is None
+        assert cache.get(b) == 2.0
+        # Re-putting the resident key must not evict it (no self-eviction).
+        cache.put(b, 3.0)
+        assert cache.get(b) == 3.0 and len(cache) == 1
+
+    def test_eviction_order_under_repeated_hits(self):
+        cache = ScoreCache(maxsize=3)
+        a, b, c, d = [("m", "fp", (i, 0, 0)) for i in range(4)]
+        cache.put(a, 1.0)
+        cache.put(b, 2.0)
+        cache.put(c, 3.0)
+        # Hit a twice and c once: recency order (oldest first) is b, c, a.
+        cache.get(a)
+        cache.get(a)
+        cache.get(c)
+        cache.put(d, 4.0)  # evicts b, the least recently used
+        assert cache.get(b) is None
+        assert cache.get(a) == 1.0
+        assert cache.get(c) == 3.0
+        assert cache.get(d) == 4.0
+        # A put to an existing key also refreshes recency: a is oldest now
+        # unless re-put; re-put c, then overflow must evict a.
+        cache.get(a)  # order: c, d, a
+        cache.put(c, 5.0)  # order: d, a, c
+        cache.put(("m", "fp", (9, 0, 0)), 9.0)  # evicts d
+        assert cache.get(d) is None
+        assert cache.get(c) == 5.0
+
+    def test_fingerprint_change_mid_session_invalidates(self, family_graph):
+        """Scores cached against one graph must never be served for
+        another: the fingerprint in the key plus ``set_graph``'s eager
+        invalidation together guarantee it mid-session."""
+        registry = _registry(family_graph)
+        session = InferenceSession(registry, family_graph)
+        triples = [(0, 0, 1), (2, 1, 0)]
+        before = session.score(triples)
+        assert len(session.cache) == len(triples)
+        old_fingerprint = family_graph.fingerprint()
+
+        # Mid-session graph swap: same triples, different graph content.
+        mutated = KnowledgeGraph(
+            TripleSet(list(family_graph.triples) + [(1, 2, 3)]),
+            num_entities=family_graph.num_entities,
+            num_relations=family_graph.num_relations,
+        )
+        assert mutated.fingerprint() != old_fingerprint
+        session.set_graph(mutated)
+        assert len(session.cache) == 0  # eager flush
+
+        model = registry.get("rmpi").model
+        calls = model.scoring_stats.batch_calls
+        after = session.score(triples)
+        assert model.scoring_stats.batch_calls == calls + 1  # recomputed
+        # New entries are keyed by the new fingerprint only; the old
+        # graph's keys cannot be hit even if probed directly.
+        entry = registry.get("rmpi")
+        for triple in triples:
+            assert session.cache.get(
+                (entry.key, old_fingerprint, triple)
+            ) is None
+        # Swapping back restores neither scores nor cache entries silently:
+        # the session re-scores against the restored graph from scratch.
+        session.set_graph(family_graph)
+        calls = model.scoring_stats.batch_calls
+        restored = session.score(triples)
+        assert model.scoring_stats.batch_calls == calls + 1
+        assert restored == pytest.approx(before)
+        assert after is not None  # both graphs produced full score lists
+
+
 class TestModelRegistry:
     def test_versions_auto_increment(self, family_graph):
         registry = ModelRegistry()
