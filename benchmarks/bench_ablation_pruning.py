@@ -7,10 +7,9 @@ quantifies both the node-update savings and the wall-clock forward-pass
 speedup on real extracted subgraphs.
 """
 
-import time
-
 import numpy as np
 
+from repro.benchmarks.timing import timed
 from repro.core import RMPI, RMPIConfig
 from repro.core.model import RMPISample
 from repro.experiments import bench_settings, format_table
@@ -47,16 +46,17 @@ def test_ablation_pruning_efficiency(benchmark, emit):
             pruned_samples.append(RMPISample(triple, pruned_plan, None, sub.is_empty))
             full_samples.append(RMPISample(triple, full_plan, None, sub.is_empty))
 
-        def timed(samples):
-            start = time.perf_counter()
-            for sample in samples:
-                model.score_sample(sample)
-            return time.perf_counter() - start
+        def score_all(samples):
+            elapsed, _ = timed(
+                lambda: [model.score_sample(s) for s in samples],
+                "bench.ablation.forward",
+            )
+            return elapsed
 
         # Warm-up then measure.
-        timed(pruned_samples[:5])
-        pruned_time = timed(pruned_samples)
-        full_time = timed(full_samples)
+        score_all(pruned_samples[:5])
+        pruned_time = score_all(pruned_samples)
+        full_time = score_all(full_samples)
 
         rows = [
             ["pruned (Algorithm 1)", pruned_updates, pruned_time * 1000],

@@ -7,11 +7,11 @@ substrate are visible.
 """
 
 import os
-import time
 
 import numpy as np
 
 from repro.autograd import Tensor, margin_ranking_loss, segment_softmax, segment_sum
+from repro.benchmarks.timing import best_of_interleaved
 from repro.core import RMPI, RMPIConfig
 from repro.experiments import bench_settings
 from repro.kg import KnowledgeGraph, build_partial_benchmark, ranking_candidates
@@ -52,19 +52,6 @@ def _ranking_workload(bench, num_queries=8, num_negatives=49):
     return graph, workload
 
 
-def _best_of_interleaved(repeats, *fns):
-    """Best wall-clock per fn, interleaving runs so CPU-state drift
-    (frequency scaling, cache pressure from earlier tests) hits both
-    contenders equally."""
-    best = [float("inf")] * len(fns)
-    for _ in range(repeats):
-        for i, fn in enumerate(fns):
-            start = time.perf_counter()
-            fn()
-            best[i] = min(best[i], time.perf_counter() - start)
-    return best
-
-
 def test_perf_batched_extraction_speedup(emit):
     """Old-vs-new extraction throughput on the 2-hop ranking workload.
 
@@ -89,7 +76,7 @@ def test_perf_batched_extraction_speedup(emit):
 
     run_legacy()  # warm (builds adjacency)
     run_vectorized()  # warm (builds CSR, fills the neighborhood cache)
-    t_legacy, t_new = _best_of_interleaved(5, run_legacy, run_vectorized)
+    t_legacy, t_new = best_of_interleaved(5, run_legacy, run_vectorized)
     speedup = t_legacy / t_new
     n = len(workload)
     emit(

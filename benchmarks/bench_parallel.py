@@ -15,15 +15,15 @@ are asserted only when the host actually exposes ≥4 usable CPUs — on a
 1-core container 4 forked workers time-slice one core and cannot beat
 serial, so the gate records the measurement instead of failing the build.
 ``REPRO_BENCH_PARALLEL_GATE=1`` forces the assertion, ``=0`` disables it.
-Results are archived as a table and as ``BENCH_parallel.json``.
+Results are archived as a table; absolute trajectory numbers live in the
+``python -m repro.benchmarks run --workload parallel`` record.
 """
 
-import json
 import os
-import time
 
 import numpy as np
 
+from repro.benchmarks.timing import timed
 from repro.core import RMPI, RMPIConfig
 from repro.eval.protocol import evaluate_entity_prediction
 from repro.experiments import bench_settings
@@ -32,7 +32,6 @@ from repro.kg.triples import TripleSet
 from repro.parallel import ParallelEvaluator, ShardedPreparer, usable_cpus
 from repro.utils.seeding import seeded_rng
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 # 24 queries x 50 candidates: enough compute per fork that the fixed pool
 # overhead (~20ms fork + result unpickle) stays far below the 2x floor's
 # slack on a 4-core host.
@@ -93,32 +92,34 @@ def test_perf_parallel_speedups(emit):
 
     # ---- sharded prepare vs serial prepare_many (cold caches each) ----
     serial_model = _make_model(bench)
-    start = time.perf_counter()
-    serial_model.prepare_many(graph, workload)
-    t_prepare_serial = time.perf_counter() - start
+    t_prepare_serial, _ = timed(
+        lambda: serial_model.prepare_many(graph, workload),
+        "bench.parallel.prepare_serial",
+    )
 
     parallel_model = _make_model(bench)
     with ShardedPreparer(parallel_model, graph, workers=WORKERS) as preparer:
-        start = time.perf_counter()
-        preparer.prepare_many(graph, workload)
-        t_prepare_parallel = time.perf_counter() - start
+        t_prepare_parallel, _ = timed(
+            lambda: preparer.prepare_many(graph, workload),
+            "bench.parallel.prepare_sharded",
+        )
     prepare_speedup = t_prepare_serial / t_prepare_parallel
 
     # ---- eval ranking: serial protocol vs worker-pool fan-out ----------
     eval_serial_model = _make_model(bench)
-    start = time.perf_counter()
-    serial_result = evaluate_entity_prediction(
-        eval_serial_model, graph, targets, seeded_rng(1)
+    t_eval_serial, serial_result = timed(
+        lambda: evaluate_entity_prediction(
+            eval_serial_model, graph, targets, seeded_rng(1)
+        ),
+        "bench.parallel.eval_serial",
     )
-    t_eval_serial = time.perf_counter() - start
 
     eval_parallel_model = _make_model(bench)
     with ParallelEvaluator(eval_parallel_model, graph, workers=WORKERS) as evaluator:
-        start = time.perf_counter()
-        parallel_result = evaluator.entity_prediction(
-            targets, seeded_rng(1)
+        t_eval_parallel, parallel_result = timed(
+            lambda: evaluator.entity_prediction(targets, seeded_rng(1)),
+            "bench.parallel.eval_pool",
         )
-        t_eval_parallel = time.perf_counter() - start
     eval_speedup = t_eval_serial / t_eval_parallel
 
     # Parity is asserted unconditionally — a wrong answer is never "fast".
@@ -146,34 +147,6 @@ def test_perf_parallel_speedups(emit):
         + ("ENFORCED" if enforced else f"recorded only ({cores} < {WORKERS} CPUs)"),
     ]
     emit("bench_parallel", "\n".join(lines))
-
-    payload = {
-        "workers": WORKERS,
-        "usable_cpus": cores,
-        "workload": {
-            "prepare_samples": len(workload),
-            "eval_queries": len(queries),
-        },
-        "prepare": {
-            "serial_s": t_prepare_serial,
-            "parallel_s": t_prepare_parallel,
-            "speedup": prepare_speedup,
-            "floor": prepare_floor,
-        },
-        "eval_ranking": {
-            "serial_s": t_eval_serial,
-            "parallel_s": t_eval_parallel,
-            "speedup": eval_speedup,
-            "floor": eval_floor,
-            "metrics_bitwise_equal": True,
-        },
-        "gate_enforced": enforced,
-    }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(
-        os.path.join(RESULTS_DIR, "BENCH_parallel.json"), "w", encoding="utf-8"
-    ) as fh:
-        json.dump(payload, fh, indent=2)
 
     if enforced:
         assert prepare_speedup >= prepare_floor, (

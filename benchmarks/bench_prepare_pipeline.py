@@ -4,20 +4,19 @@ Tracks the per-stage cost of sample preparation — the serving and eval hot
 path (PR 1 vectorized extraction; this PR vectorizes the relation-view
 transform and Algorithm-1 plan compilation) — and gates the end-to-end
 speedup of the vectorized pipeline over the legacy pure-Python reference
-path on the 2-hop ranking workload.  Results are archived both as a
-rendered table and as machine-readable ``BENCH_prepare.json`` under
-``benchmarks/results/``.
+path on the 2-hop ranking workload.  Results are archived as a rendered
+table; absolute trajectory numbers live in the
+``python -m repro.benchmarks run --workload prepare`` record.
 
 ``REPRO_BENCH_MIN_PREPARE_SPEEDUP`` overrides the asserted floor (default
 3x; CI sets a lower one because shared runners time noisily).
 """
 
-import json
 import os
-import time
 
 import numpy as np
 
+from repro.benchmarks.timing import best_of_interleaved, timed
 from repro.core import RMPI, RMPIConfig
 from repro.experiments import bench_settings
 from repro.kg import KnowledgeGraph, build_partial_benchmark, ranking_candidates
@@ -31,7 +30,6 @@ from repro.subgraph import (
 )
 from repro.utils.seeding import seeded_rng
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 NUM_HOPS = 2
 NUM_LAYERS = 2
 
@@ -65,18 +63,6 @@ def _ranking_workload(bench, num_queries=8, num_negatives=49):
             )
         )
     return graph, workload
-
-
-def _best_of_interleaved(repeats, *fns):
-    """Best wall-clock per fn, interleaving runs so CPU-state drift hits
-    all contenders equally."""
-    best = [float("inf")] * len(fns)
-    for _ in range(repeats):
-        for i, fn in enumerate(fns):
-            start = time.perf_counter()
-            fn()
-            best[i] = min(best[i], time.perf_counter() - start)
-    return best
 
 
 def test_perf_prepare_pipeline_speedup(emit):
@@ -127,11 +113,11 @@ def test_perf_prepare_pipeline_speedup(emit):
     legacy_pipeline()  # warm (adjacency lists)
     vectorized_pipeline()  # warm (CSR + neighborhood cache)
     stage_times = {
-        "extract": _best_of_interleaved(3, legacy_extract, vectorized_extract),
-        "linegraph": _best_of_interleaved(3, legacy_linegraph, vectorized_linegraph),
-        "plan": _best_of_interleaved(3, legacy_plan, vectorized_plan),
+        "extract": best_of_interleaved(3, legacy_extract, vectorized_extract),
+        "linegraph": best_of_interleaved(3, legacy_linegraph, vectorized_linegraph),
+        "plan": best_of_interleaved(3, legacy_plan, vectorized_plan),
     }
-    t_legacy, t_new = _best_of_interleaved(3, legacy_pipeline, vectorized_pipeline)
+    t_legacy, t_new = best_of_interleaved(3, legacy_pipeline, vectorized_pipeline)
     speedup = t_legacy / t_new
 
     # Forward stage (vectorized only): fused batched scoring over the
@@ -142,9 +128,9 @@ def test_perf_prepare_pipeline_speedup(emit):
     model.eval()
     samples = model.prepare_many(csr_graph, workload[:64])
     model.score_samples_batched(samples)  # warm
-    start = time.perf_counter()
-    model.score_samples_batched(samples)
-    t_forward = time.perf_counter() - start
+    t_forward, _ = timed(
+        lambda: model.score_samples_batched(samples), "bench.prepare.forward"
+    )
 
     n = len(workload)
     lines = [
@@ -152,17 +138,11 @@ def test_perf_prepare_pipeline_speedup(emit):
         f"{n} candidate triples, graph={graph!r})",
         f"  {'stage':<12}{'legacy':>12}{'vectorized':>12}{'speedup':>10}",
     ]
-    stages_json = {}
     for stage, (t_l, t_v) in stage_times.items():
         lines.append(
             f"  {stage:<12}{t_l * 1e3:>10.1f}ms{t_v * 1e3:>10.1f}ms"
             f"{t_l / t_v:>9.1f}x"
         )
-        stages_json[stage] = {
-            "legacy_s": t_l,
-            "vectorized_s": t_v,
-            "speedup": t_l / t_v,
-        }
     lines += [
         f"  {'end-to-end':<12}{t_legacy * 1e3:>10.1f}ms{t_new * 1e3:>10.1f}ms"
         f"{speedup:>9.1f}x",
@@ -171,27 +151,6 @@ def test_perf_prepare_pipeline_speedup(emit):
     emit("bench_prepare_pipeline", "\n".join(lines))
 
     floor = float(os.environ.get("REPRO_BENCH_MIN_PREPARE_SPEEDUP", "3.0"))
-    payload = {
-        "workload": {
-            "candidates": n,
-            "num_hops": NUM_HOPS,
-            "num_layers": NUM_LAYERS,
-        },
-        "stages": stages_json,
-        "end_to_end": {
-            "legacy_s": t_legacy,
-            "vectorized_s": t_new,
-            "speedup": speedup,
-        },
-        "forward_fused_64_s": t_forward,
-        "asserted_floor": floor,
-    }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(
-        os.path.join(RESULTS_DIR, "BENCH_prepare.json"), "w", encoding="utf-8"
-    ) as fh:
-        json.dump(payload, fh, indent=2)
-
     assert speedup >= floor, (
         f"expected >={floor}x end-to-end prepare speedup, got {speedup:.2f}x"
     )

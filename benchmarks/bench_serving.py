@@ -17,10 +17,10 @@ The gate asserts micro-batching reaches ``REPRO_BENCH_MIN_SERVING_SPEEDUP``
 """
 
 import os
-import time
 
 import numpy as np
 
+from repro.benchmarks.timing import timed
 from repro.core import RMPI, RMPIConfig
 from repro.experiments import bench_settings, format_table
 from repro.kg import build_partial_benchmark, ranking_candidates
@@ -55,12 +55,14 @@ def _drive(session, workload, max_batch_size, max_wait_ms):
     scheduler = MicroBatchScheduler(
         session, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms
     )
-    with scheduler:
-        start = time.perf_counter()
+
+    def drive():
         futures = [scheduler.submit([triple]) for triple in workload]
         for future in futures:
             future.result(timeout=120)
-        elapsed = time.perf_counter() - start
+
+    with scheduler:
+        elapsed, _ = timed(drive, "bench.serving.drive")
     return elapsed, scheduler.stats
 
 

@@ -15,27 +15,27 @@ engine configurations:
 Sample preparation is memoised in both models and warmed before timing, so
 the numbers isolate the autograd compute engine — the post-PR-3 hot path.
 An eval-ranking contender pair additionally reports what no-grad + float32
-buys the serving/eval forward.  Results land in ``BENCH_train.json``.
+buys the serving/eval forward.  This script is the fused-vs-legacy speedup
+*gate*; absolute trajectory numbers live in the
+``python -m repro.benchmarks run --workload train_step`` record.
 
 ``REPRO_BENCH_MIN_TRAIN_SPEEDUP`` overrides the asserted end-to-end floor
 (default 2x; CI sets a lower one because shared runners time noisily).
 """
 
-import json
 import os
-import time
 
 import numpy as np
 
 from repro.autograd import Adam, clip_grad_norm, default_dtype, legacy_kernels
 from repro.autograd.losses import margin_ranking_loss
+from repro.benchmarks.timing import best_of_interleaved, timed
 from repro.core import RMPI, RMPIConfig
 from repro.experiments import bench_settings
 from repro.kg import TripleSet, build_partial_benchmark, ranking_candidates
 from repro.kg.sampling import negative_triples
 from repro.utils.seeding import seeded_rng
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 BATCH_SIZE = 16
 MARGIN = 10.0
 CLIP_NORM = 5.0
@@ -96,23 +96,29 @@ def _make_model(bench, float64=False):
 def _train_step(model, optimizer, graph, positives, negatives, one_pass):
     """One optimizer step; returns (forward_s, backward_s, optimizer_s)."""
     model.train()
-    t0 = time.perf_counter()
-    if one_pass:
-        scores = model.score_batch_fused(graph, positives + negatives)
-        pos_scores = scores[: len(positives)]
-        neg_scores = scores[len(positives) :]
-    else:
-        pos_scores = model.score_batch_fused(graph, positives)
-        neg_scores = model.score_batch_fused(graph, negatives)
-    loss = margin_ranking_loss(pos_scores, neg_scores, margin=MARGIN)
-    t1 = time.perf_counter()
-    optimizer.zero_grad()
-    loss.backward()
-    t2 = time.perf_counter()
-    clip_grad_norm(model.parameters(), CLIP_NORM)
-    optimizer.step()
-    t3 = time.perf_counter()
-    return t1 - t0, t2 - t1, t3 - t2
+
+    def forward():
+        if one_pass:
+            scores = model.score_batch_fused(graph, positives + negatives)
+            pos_scores = scores[: len(positives)]
+            neg_scores = scores[len(positives) :]
+        else:
+            pos_scores = model.score_batch_fused(graph, positives)
+            neg_scores = model.score_batch_fused(graph, negatives)
+        return margin_ranking_loss(pos_scores, neg_scores, margin=MARGIN)
+
+    def backward():
+        optimizer.zero_grad()
+        loss.backward()
+
+    def optimize():
+        clip_grad_norm(model.parameters(), CLIP_NORM)
+        optimizer.step()
+
+    forward_s, loss = timed(forward, "bench.train.forward")
+    backward_s, _ = timed(backward, "bench.train.backward")
+    optimizer_s, _ = timed(optimize, "bench.train.optimizer")
+    return forward_s, backward_s, optimizer_s
 
 
 def test_perf_train_step_speedup(emit):
@@ -171,14 +177,9 @@ def test_perf_train_step_speedup(emit):
 
     fused_eval()  # warm
     legacy_eval()
-    t_eval_fused = t_eval_legacy = float("inf")
-    for _ in range(3):
-        start = time.perf_counter()
-        legacy_eval()
-        t_eval_legacy = min(t_eval_legacy, time.perf_counter() - start)
-        start = time.perf_counter()
-        fused_eval()
-        t_eval_fused = min(t_eval_fused, time.perf_counter() - start)
+    t_eval_legacy, t_eval_fused = best_of_interleaved(
+        3, legacy_eval, fused_eval, name="bench.train.eval"
+    )
     eval_speedup = t_eval_legacy / t_eval_fused
 
     lines = [
@@ -187,18 +188,12 @@ def test_perf_train_step_speedup(emit):
         f"graph={graph!r})",
         f"  {'stage':<12}{'legacy':>12}{'fused':>12}{'speedup':>10}",
     ]
-    stages_json = {}
     for stage in stage_names:
         t_l, t_f = legacy_stages[stage], fused_stages[stage]
         lines.append(
             f"  {stage:<12}{t_l * 1e3:>10.1f}ms{t_f * 1e3:>10.1f}ms"
             f"{t_l / t_f:>9.1f}x"
         )
-        stages_json[stage] = {
-            "legacy_s": t_l,
-            "fused_s": t_f,
-            "speedup": t_l / t_f,
-        }
     lines += [
         f"  {'end-to-end':<12}{t_legacy * 1e3:>10.1f}ms{t_fused * 1e3:>10.1f}ms"
         f"{speedup:>9.1f}x",
@@ -209,31 +204,6 @@ def test_perf_train_step_speedup(emit):
     emit("bench_train_step", "\n".join(lines))
 
     floor = float(os.environ.get("REPRO_BENCH_MIN_TRAIN_SPEEDUP", "2.0"))
-    payload = {
-        "workload": {
-            "batch_positives": len(positives),
-            "batch_negatives": len(negatives),
-            "eval_candidates": len(workload),
-        },
-        "stages": stages_json,
-        "end_to_end": {
-            "legacy_s": t_legacy,
-            "fused_s": t_fused,
-            "speedup": speedup,
-        },
-        "eval_ranking": {
-            "legacy_s": t_eval_legacy,
-            "fused_s": t_eval_fused,
-            "speedup": eval_speedup,
-        },
-        "asserted_floor": floor,
-    }
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(
-        os.path.join(RESULTS_DIR, "BENCH_train.json"), "w", encoding="utf-8"
-    ) as fh:
-        json.dump(payload, fh, indent=2)
-
     assert speedup >= floor, (
         f"expected >={floor}x end-to-end train-step speedup, got {speedup:.2f}x"
     )

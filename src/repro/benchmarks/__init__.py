@@ -1,0 +1,33 @@
+"""Benchmark workloads as an importable package with a shared runner.
+
+One module per workload (``prepare``, ``train_step``, ``eval_ranking``,
+``serving``, ``parallel``), a runner that versions every result into
+``benchmarks/results/BENCH_<workload>.json`` with regression deltas
+against the committed baseline, and a concurrent load generator for the
+serving stack.  ``python -m repro.benchmarks run --workload all --smoke``
+is the CI entry; the same command without ``--smoke`` produces the
+defensible local numbers.
+
+The pytest scripts under ``benchmarks/`` remain the speedup *gates*
+(fused vs legacy floors); this package owns the *trajectory* — absolute
+numbers a future PR must not regress.
+"""
+
+from repro.benchmarks.loadgen import LoadLevelResult, LoadSweepResult, run_load_sweep
+from repro.benchmarks.records import MetricSpec, build_record, compute_deltas
+from repro.benchmarks.runner import WORKLOADS, run_workload
+from repro.benchmarks.timing import best_of, best_of_interleaved, timed
+
+__all__ = [
+    "LoadLevelResult",
+    "LoadSweepResult",
+    "run_load_sweep",
+    "MetricSpec",
+    "build_record",
+    "compute_deltas",
+    "WORKLOADS",
+    "run_workload",
+    "best_of",
+    "best_of_interleaved",
+    "timed",
+]

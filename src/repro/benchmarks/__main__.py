@@ -1,0 +1,122 @@
+"""CLI: ``python -m repro.benchmarks <command>``.
+
+Commands
+--------
+``run``     — run workload(s), write versioned BENCH records with deltas.
+``list``    — list workloads and their committed baseline versions.
+``compare`` — re-render the delta report of a committed record.
+
+Examples::
+
+    python -m repro.benchmarks run --workload serving --smoke
+    python -m repro.benchmarks run --workload all --check
+    python -m repro.benchmarks compare --workload train_step
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from datetime import datetime, timezone
+from typing import List, Optional
+
+from repro.benchmarks import records
+from repro.benchmarks.runner import WORKLOADS, record_path, run_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.benchmarks", description=__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run workloads and write BENCH records")
+    run.add_argument(
+        "--workload",
+        default="all",
+        choices=sorted(WORKLOADS) + ["all"],
+    )
+    run.add_argument(
+        "--smoke", action="store_true", help="CI-sized workloads (seconds, not minutes)"
+    )
+    run.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero if any gated metric regressed beyond its threshold",
+    )
+    run.add_argument(
+        "--results-dir", default=None, help="override benchmarks/results/"
+    )
+    run.add_argument(
+        "--no-write", action="store_true", help="report deltas without archiving"
+    )
+
+    lst = sub.add_parser("list", help="list workloads and baseline versions")
+    lst.add_argument("--results-dir", default=None)
+
+    compare = sub.add_parser("compare", help="re-render a committed record's deltas")
+    compare.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    compare.add_argument("--results-dir", default=None)
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    names = sorted(WORKLOADS) if args.workload == "all" else [args.workload]
+    timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    failed: List[str] = []
+    for name in names:
+        record, regressions = run_workload(
+            name,
+            timestamp=timestamp,
+            smoke=args.smoke,
+            results_dir=args.results_dir,
+            write=not args.no_write,
+            log=print,
+        )
+        print(records.render_report(record))
+        print()
+        if regressions:
+            failed.append(name)
+    if args.check and failed:
+        print(f"FAIL: regressions in workload(s): {', '.join(failed)}")
+        return 1
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for name in sorted(WORKLOADS):
+        baseline = records.load_baseline(record_path(name, args.results_dir))
+        if baseline is None:
+            status = "no baseline"
+        elif baseline.get("schema"):
+            status = (
+                f"v{baseline.get('version')} @ {baseline.get('git_rev')} "
+                f"({baseline.get('timestamp')})"
+            )
+        else:
+            status = "legacy-format baseline"
+        print(f"{name:<14} {status}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    record = records.load_baseline(record_path(args.workload, args.results_dir))
+    if record is None:
+        print(f"no committed record for workload {args.workload}")
+        return 1
+    if not record.get("schema"):
+        print(f"committed {args.workload} record predates the runner (no deltas)")
+        return 1
+    print(records.render_report(record))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {"run": cmd_run, "list": cmd_list, "compare": cmd_compare}[
+        args.command
+    ](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Workload ``eval_ranking``: the entity-prediction ranking protocol.
+
+Times :func:`repro.eval.protocol.evaluate_entity_prediction` — per query,
+the truth plus sampled corruptions scored through the fused no-grad
+forward — and reports query throughput alongside the MRR it produced (a
+silent accuracy collapse should be as loud as a slowdown).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.benchmarks.records import MetricSpec
+from repro.benchmarks.timing import timed
+from repro.core import RMPI, RMPIConfig
+from repro.eval.protocol import evaluate_entity_prediction
+from repro.experiments import bench_settings
+from repro.kg import TripleSet, build_partial_benchmark
+from repro.utils.seeding import seeded_rng
+
+SPECS: Dict[str, MetricSpec] = {
+    "rank_s": MetricSpec("lower"),
+    "queries_per_s": MetricSpec("higher"),
+    "mrr": MetricSpec("higher", threshold_pct=None),
+    "queries": MetricSpec("higher", threshold_pct=None),
+}
+
+
+def run(smoke: bool) -> Tuple[Dict[str, float], Dict[str, Any]]:
+    settings = bench_settings()
+    num_queries, num_negatives = (4, 9) if smoke else (16, 49)
+    bench = build_partial_benchmark(
+        "FB15k-237", 2, scale=settings.scale, seed=settings.seed
+    )
+    graph = bench.train_graph
+    targets = TripleSet(
+        (list(bench.test_triples) or list(bench.train_triples))[:num_queries]
+    )
+    model = RMPI(
+        bench.num_relations, seeded_rng(0), RMPIConfig(embed_dim=16, dropout=0.0)
+    )
+    model.eval()
+
+    def rank():
+        return evaluate_entity_prediction(
+            model, graph, targets, seeded_rng(1), num_negatives=num_negatives
+        )
+
+    rank()  # warm the memoised prepare caches
+    rank_s, result = timed(rank)
+    metrics = {
+        "rank_s": rank_s,
+        "queries_per_s": result.num_queries / rank_s,
+        "mrr": result.mrr,
+        "queries": float(result.num_queries),
+    }
+    info = {
+        "family": "FB15k-237",
+        "scale": settings.scale,
+        "num_negatives": num_negatives,
+    }
+    return metrics, info

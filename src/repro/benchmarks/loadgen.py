@@ -1,0 +1,144 @@
+"""Concurrent load generator for a live :class:`ServingServer`.
+
+Drives ``POST /score`` with ``clients`` closed-loop threads (each sends
+its next request as soon as the previous one returns), sweeping the
+client count upward to find where throughput saturates.  Per-request
+latencies are clocked through span timing into a *private* registry —
+the driver must not pollute the server process's own metrics when both
+run in one process, as they do in tests and smoke mode.
+
+Output feeds ``BENCH_serving_load.json``: per-level p50/p99 latency and
+queries/sec, plus the saturation summary (the best observed throughput
+and the level that reached it).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.benchmarks.timing import timed
+from repro.kg.triples import Triple
+from repro.obs import MetricsRegistry
+from repro.serve.client import ServingClient
+
+__all__ = ["LoadLevelResult", "LoadSweepResult", "run_load_sweep"]
+
+
+@dataclass(frozen=True)
+class LoadLevelResult:
+    """One concurrency level of the sweep."""
+
+    clients: int
+    requests: int
+    errors: int
+    elapsed_s: float
+    qps: float
+    p50_ms: float
+    p99_ms: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(vars(self))
+
+
+@dataclass(frozen=True)
+class LoadSweepResult:
+    """The full sweep plus its saturation point."""
+
+    levels: List[LoadLevelResult]
+    saturation_qps: float
+    saturation_clients: int
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "levels": [level.as_dict() for level in self.levels],
+            "saturation_qps": self.saturation_qps,
+            "saturation_clients": self.saturation_clients,
+        }
+
+
+def _drive_level(
+    url: str,
+    triples: Sequence[Triple],
+    clients: int,
+    requests_per_client: int,
+    timeout: float,
+) -> LoadLevelResult:
+    latencies: List[List[float]] = [[] for _ in range(clients)]
+    errors = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(idx: int) -> None:
+        client = ServingClient(url, timeout=timeout)
+        # Private registry: driver-side clocks stay out of server metrics.
+        local = MetricsRegistry()
+        barrier.wait()
+        for i in range(requests_per_client):
+            triple = triples[(idx * requests_per_client + i) % len(triples)]
+            elapsed, (status, _body) = timed(
+                lambda: client.request(
+                    "POST", "/score", {"triples": [list(triple)]}
+                ),
+                name="loadgen.request",
+                registry=local,
+            )
+            if status == 200:
+                latencies[idx].append(elapsed)
+            else:
+                errors[idx] += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(idx,), daemon=True)
+        for idx in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall = MetricsRegistry()
+    elapsed_s, _ = timed(
+        lambda: [thread.join() for thread in threads],
+        name="loadgen.level",
+        registry=wall,
+    )
+    flat = np.asarray([s for per in latencies for s in per])
+    ok = int(flat.size)
+    return LoadLevelResult(
+        clients=clients,
+        requests=ok,
+        errors=sum(errors),
+        elapsed_s=elapsed_s,
+        qps=ok / elapsed_s if elapsed_s > 0 else 0.0,
+        p50_ms=float(np.percentile(flat, 50) * 1e3) if ok else float("nan"),
+        p99_ms=float(np.percentile(flat, 99) * 1e3) if ok else float("nan"),
+    )
+
+
+def run_load_sweep(
+    url: str,
+    triples: Sequence[Triple],
+    client_levels: Sequence[int] = (1, 2, 4, 8),
+    requests_per_client: int = 25,
+    timeout: float = 30.0,
+) -> LoadSweepResult:
+    """Sweep ``client_levels`` against a live server at ``url``.
+
+    Saturation throughput is the best queries/sec any level reached —
+    with closed-loop clients, throughput rises with concurrency until the
+    scheduler/model pipeline is full, then flattens; the plateau is the
+    capacity number the README's "heavy traffic" claims have to cite.
+    """
+    if not triples:
+        raise ValueError("load generation needs at least one triple")
+    levels = [
+        _drive_level(url, triples, clients, requests_per_client, timeout)
+        for clients in client_levels
+    ]
+    best = max(levels, key=lambda level: level.qps)
+    return LoadSweepResult(
+        levels=levels,
+        saturation_qps=best.qps,
+        saturation_clients=best.clients,
+    )

@@ -1,0 +1,83 @@
+"""Workload ``prepare``: the batched subgraph-preparation pipeline.
+
+Times the two numpy stages a ranking query's candidate list runs through
+before any scoring — batched K-hop extraction and the batched
+relation-view transform — on a generated FB15k-237 slice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.benchmarks.records import MetricSpec
+from repro.benchmarks.timing import best_of
+from repro.experiments import bench_settings
+from repro.kg import build_partial_benchmark, ranking_candidates
+from repro.subgraph.extraction import extract_subgraphs_many
+from repro.subgraph.linegraph import build_relational_graphs_many
+from repro.utils.seeding import seeded_rng
+
+SPECS: Dict[str, MetricSpec] = {
+    "extract_s": MetricSpec("lower"),
+    "linegraph_s": MetricSpec("lower"),
+    "total_s": MetricSpec("lower"),
+    "candidates_per_s": MetricSpec("higher"),
+    "candidates": MetricSpec("higher", threshold_pct=None),
+}
+
+
+def _candidate_workload(bench, num_queries: int, num_negatives: int):
+    graph = bench.train_graph
+    rng = seeded_rng(0)
+    pool = sorted(graph.triples.entities())
+    queries = (
+        list(bench.test_triples)[:num_queries]
+        or list(bench.train_triples)[:num_queries]
+    )
+    workload = []
+    for i, query in enumerate(queries):
+        workload.extend(
+            ranking_candidates(
+                query,
+                graph.num_entities,
+                rng,
+                num_negatives=num_negatives,
+                candidate_entities=pool,
+                corrupt_head=bool(i % 2),
+            )
+        )
+    return graph, workload
+
+
+def run(smoke: bool) -> Tuple[Dict[str, float], Dict[str, Any]]:
+    settings = bench_settings()
+    num_queries, num_negatives, repeats = (2, 19, 2) if smoke else (8, 49, 5)
+    bench = build_partial_benchmark(
+        "FB15k-237", 2, scale=settings.scale, seed=settings.seed
+    )
+    graph, workload = _candidate_workload(bench, num_queries, num_negatives)
+
+    subgraphs = extract_subgraphs_many(graph, workload, num_hops=2)  # warm BFS cache
+    extract_s = best_of(
+        repeats, lambda: extract_subgraphs_many(graph, workload, num_hops=2)
+    )
+    linegraph_s = best_of(
+        repeats, lambda: build_relational_graphs_many(subgraphs)
+    )
+    total_s = extract_s + linegraph_s
+    metrics = {
+        "extract_s": extract_s,
+        "linegraph_s": linegraph_s,
+        "total_s": total_s,
+        "candidates_per_s": len(workload) / total_s,
+        "candidates": float(len(workload)),
+    }
+    info = {
+        "family": "FB15k-237",
+        "scale": settings.scale,
+        "num_queries": num_queries,
+        "num_negatives": num_negatives,
+        "num_hops": 2,
+        "repeats": repeats,
+    }
+    return metrics, info

@@ -1,0 +1,243 @@
+"""Versioned benchmark records and regression-delta math.
+
+Every runner invocation emits one ``BENCH_<workload>.json`` record:
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "workload": "train_step",
+      "version": 3,
+      "timestamp": "2026-08-07T12:00:00+00:00",
+      "git_rev": "abc1234",
+      "smoke": true,
+      "env": {"python": "...", "numpy": "...", "platform": "...", "cpus": 8},
+      "workload_info": {"batch_positives": 16, "...": "..."},
+      "metrics": {"step_s": 0.016, "steps_per_s": 61.2},
+      "baseline": {
+        "version": 2,
+        "git_rev": "def5678",
+        "deltas": {
+          "step_s": {"baseline": 0.015, "current": 0.016,
+                      "delta_pct": 6.7, "direction": "lower",
+                      "regression": false}
+        },
+        "regressions": []
+      }
+    }
+
+``version`` is the committed baseline's version + 1, so the archived
+records in ``benchmarks/results/`` form a trajectory rather than a pile of
+overwrites.  The caller supplies ``timestamp`` (the runner never reads a
+clock itself — wall-clock identity stays out of the measurement layer).
+
+Pre-runner ``BENCH_*.json`` files (nested stage dicts, no schema field)
+are still accepted as baselines: their numeric leaves are flattened to
+dotted metric names, so a first new-format run reports deltas against the
+old record instead of silently starting over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+#: Default tolerance before a worse metric counts as a regression.  Pure
+#: numpy timings on shared machines are noisy; workloads override
+#: per-metric where tighter floors are defensible.
+DEFAULT_THRESHOLD_PCT = 25.0
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one metric is judged against a baseline.
+
+    direction:
+        ``"lower"`` (latencies) or ``"higher"`` (throughputs, accuracy).
+    threshold_pct:
+        How many percent *worse* than baseline the metric may drift before
+        it is flagged as a regression.  ``None`` disables the gate for
+        purely informational metrics (counts, workload sizes).
+    """
+
+    direction: str = "lower"
+    threshold_pct: Optional[float] = DEFAULT_THRESHOLD_PCT
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("lower", "higher"):
+            raise ValueError(f"direction must be lower|higher, got {self.direction!r}")
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """Where the numbers came from — enough to spot apples-vs-oranges."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def git_rev(root: Optional[str] = None) -> str:
+    """Short commit hash of the working tree (``"unknown"`` outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def flatten_metrics(obj: Any, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a nested dict as dotted flat names (legacy
+    baseline adapter; booleans and strings are dropped)."""
+    flat: Dict[str, float] = {}
+    if isinstance(obj, Mapping):
+        for key, value in obj.items():
+            name = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_metrics(value, name))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        flat[prefix] = float(obj)
+    return flat
+
+
+def baseline_metrics(record: Mapping[str, Any]) -> Dict[str, float]:
+    """Comparable metrics of a baseline record, old format or new."""
+    if record.get("schema"):
+        return flatten_metrics(record.get("metrics", {}))
+    return flatten_metrics(record)
+
+
+def compute_deltas(
+    current: Mapping[str, float],
+    baseline: Mapping[str, float],
+    specs: Mapping[str, MetricSpec],
+) -> Dict[str, Dict[str, Any]]:
+    """Per-metric deltas for every metric present on both sides.
+
+    ``delta_pct`` is signed change relative to baseline; ``regression`` is
+    True when the metric moved in its *bad* direction by more than the
+    spec's threshold.
+    """
+    deltas: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(current):
+        if name not in baseline:
+            continue
+        spec = specs.get(name, MetricSpec())
+        base = float(baseline[name])
+        cur = float(current[name])
+        delta_pct = ((cur - base) / abs(base) * 100.0) if base else 0.0
+        worse_pct = delta_pct if spec.direction == "lower" else -delta_pct
+        regression = (
+            spec.threshold_pct is not None and worse_pct > spec.threshold_pct
+        )
+        deltas[name] = {
+            "baseline": base,
+            "current": cur,
+            "delta_pct": delta_pct,
+            "direction": spec.direction,
+            "regression": regression,
+        }
+    return deltas
+
+
+def load_baseline(path: str) -> Optional[Dict[str, Any]]:
+    """The committed record at ``path`` (None if absent or unreadable)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def build_record(
+    workload: str,
+    metrics: Mapping[str, float],
+    specs: Mapping[str, MetricSpec],
+    timestamp: str,
+    smoke: bool,
+    workload_info: Optional[Mapping[str, Any]] = None,
+    baseline: Optional[Mapping[str, Any]] = None,
+    rev: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Assemble one versioned record, with deltas when a baseline exists."""
+    record: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "workload": workload,
+        "version": int(baseline.get("version", 0)) + 1 if baseline else 1,
+        "timestamp": timestamp,
+        "git_rev": rev if rev is not None else git_rev(),
+        "smoke": bool(smoke),
+        "env": env_fingerprint(),
+        "workload_info": dict(workload_info or {}),
+        "metrics": {name: float(value) for name, value in sorted(metrics.items())},
+    }
+    if baseline:
+        deltas = compute_deltas(record["metrics"], baseline_metrics(baseline), specs)
+        record["baseline"] = {
+            "version": baseline.get("version"),
+            "git_rev": baseline.get("git_rev"),
+            "smoke": baseline.get("smoke"),
+            "deltas": deltas,
+            "regressions": sorted(
+                name for name, delta in deltas.items() if delta["regression"]
+            ),
+        }
+    return record
+
+
+def write_record(record: Mapping[str, Any], path: str) -> str:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def render_report(record: Mapping[str, Any]) -> str:
+    """Human-readable delta report for one record."""
+    lines = [
+        f"workload {record['workload']} v{record['version']} "
+        f"(rev {record['git_rev']}, smoke={record['smoke']})"
+    ]
+    baseline = record.get("baseline")
+    if not baseline:
+        lines.append("  no committed baseline — record establishes v1")
+        for name, value in record["metrics"].items():
+            lines.append(f"  {name:<32} {value:>12.6g}")
+        return "\n".join(lines)
+    lines.append(
+        f"  vs baseline v{baseline['version']} (rev {baseline['git_rev']})"
+    )
+    deltas: Dict[str, Dict[str, Any]] = baseline["deltas"]
+    for name, value in record["metrics"].items():
+        delta = deltas.get(name)
+        if delta is None:
+            lines.append(f"  {name:<32} {value:>12.6g}  (new metric)")
+            continue
+        marker = "  REGRESSION" if delta["regression"] else ""
+        lines.append(
+            f"  {name:<32} {value:>12.6g}  "
+            f"{delta['delta_pct']:+7.1f}% vs {delta['baseline']:.6g}"
+            f" [{delta['direction']} is better]{marker}"
+        )
+    if baseline["regressions"]:
+        lines.append(f"  regressions: {', '.join(baseline['regressions'])}")
+    else:
+        lines.append("  no regressions beyond thresholds")
+    return "\n".join(lines)

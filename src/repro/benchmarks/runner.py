@@ -1,0 +1,101 @@
+"""Shared benchmark runner: resolve a workload, run it, version the record.
+
+One module per workload (the :mod:`indra.benchmarks` package shape); the
+runner is the only code that touches ``benchmarks/results/``.  For each
+run it
+
+1. loads the committed ``BENCH_<workload>.json`` baseline (old or new
+   format),
+2. runs the workload (``--smoke`` shrinks it to CI size),
+3. writes a versioned record with per-metric regression deltas,
+4. returns nonzero when ``check`` is set and a gated metric regressed
+   beyond its threshold.
+
+Workload modules export ``run(smoke) -> (metrics, info[, extras])`` and a
+``SPECS`` dict of :class:`~repro.benchmarks.records.MetricSpec`; extras
+are side artifacts archived verbatim (e.g. the serving workload's load
+sweep → ``BENCH_serving_load.json``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.benchmarks import records
+
+#: Workload name -> module path.  Importing lazily keeps ``python -m
+#: repro.benchmarks list`` instant (the serving workload pulls in the
+#: whole serving stack).
+WORKLOADS: Dict[str, str] = {
+    "prepare": "repro.benchmarks.prepare",
+    "train_step": "repro.benchmarks.train_step",
+    "eval_ranking": "repro.benchmarks.eval_ranking",
+    "serving": "repro.benchmarks.serving",
+    "parallel": "repro.benchmarks.parallel",
+}
+
+
+def default_results_dir() -> str:
+    """``benchmarks/results/`` at the repository root (next to ``src/``)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "benchmarks", "results")
+
+
+def record_path(workload: str, results_dir: Optional[str] = None) -> str:
+    return os.path.join(
+        results_dir or default_results_dir(), f"BENCH_{workload}.json"
+    )
+
+
+def run_workload(
+    workload: str,
+    timestamp: str,
+    smoke: bool = False,
+    results_dir: Optional[str] = None,
+    write: bool = True,
+    log: Callable[[str], None] = lambda line: None,
+) -> Tuple[Dict[str, Any], List[str]]:
+    """Run one workload; returns ``(record, regressions)``.
+
+    ``timestamp`` is caller-supplied (ISO-8601); the runner itself never
+    reads a clock.  With ``write`` the record (and any extras) land in
+    ``results_dir`` — the previous record is the baseline it was judged
+    against, so committing the new file advances the trajectory.
+    """
+    if workload not in WORKLOADS:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {workload!r} (known: {known})")
+    module = importlib.import_module(WORKLOADS[workload])
+    results_dir = results_dir or default_results_dir()
+    path = record_path(workload, results_dir)
+    baseline = records.load_baseline(path)
+    log(f"running workload {workload} (smoke={smoke}) ...")
+
+    result = module.run(smoke)
+    metrics, info = result[0], result[1]
+    extras: Mapping[str, Any] = result[2] if len(result) > 2 else {}
+
+    record = records.build_record(
+        workload,
+        metrics,
+        module.SPECS,
+        timestamp=timestamp,
+        smoke=smoke,
+        workload_info=info,
+        baseline=baseline,
+    )
+    if write:
+        records.write_record(record, path)
+        log(f"wrote {path}")
+        for filename, payload in extras.items():
+            extra = dict(payload)
+            extra.setdefault("timestamp", timestamp)
+            extra.setdefault("git_rev", record["git_rev"])
+            extra_path = os.path.join(results_dir, filename)
+            records.write_record(extra, extra_path)
+            log(f"wrote {extra_path}")
+    regressions = list(record.get("baseline", {}).get("regressions", []))
+    return record, regressions

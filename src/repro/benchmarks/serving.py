@@ -1,0 +1,84 @@
+"""Workload ``serving``: end-to-end HTTP serving under concurrent load.
+
+Boots a real :class:`ServingServer` (threaded HTTP frontend, micro-batch
+scheduler, score cache) on a generated benchmark's test graph, then runs
+the :mod:`repro.benchmarks.loadgen` concurrency sweep against it.  The
+headline metrics are the saturation throughput and the p50/p99 request
+latency at the saturation level; the full sweep is archived alongside as
+``BENCH_serving_load.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.benchmarks.loadgen import run_load_sweep
+from repro.benchmarks.records import MetricSpec
+from repro.core import RMPI, RMPIConfig
+from repro.experiments import bench_settings
+from repro.kg import build_partial_benchmark
+from repro.serve import ModelRegistry, ServingApp, ServingConfig, ServingServer
+from repro.utils.seeding import seeded_rng
+
+SPECS: Dict[str, MetricSpec] = {
+    "saturation_qps": MetricSpec("higher"),
+    "p50_ms": MetricSpec("lower"),
+    "p99_ms": MetricSpec("lower", threshold_pct=50.0),
+    "requests": MetricSpec("higher", threshold_pct=None),
+}
+
+
+def run(smoke: bool) -> Tuple[Dict[str, float], Dict[str, Any], Dict[str, Any]]:
+    settings = bench_settings()
+    if smoke:
+        client_levels, requests_per_client = (1, 2), 8
+    else:
+        client_levels, requests_per_client = (1, 2, 4, 8), 25
+    bench = build_partial_benchmark(
+        "NELL-995", 1, scale=settings.scale, seed=settings.seed
+    )
+    model = RMPI(
+        bench.num_relations, seeded_rng(0), RMPIConfig(embed_dim=16, dropout=0.0)
+    )
+    registry = ModelRegistry()
+    registry.register("rmpi", model, meta={"benchmark": bench.name})
+    app = ServingApp(
+        registry,
+        bench.test_graph,
+        ServingConfig(default_model="rmpi", max_wait_ms=1.0),
+    )
+    triples = list(bench.test_triples)[:32] or list(bench.train_triples)[:32]
+    with ServingServer(app) as server:
+        # Warm the sample caches so the sweep measures steady-state
+        # serving, not first-touch subgraph extraction.
+        warm = run_load_sweep(
+            server.url, triples[:4], client_levels=(1,), requests_per_client=4
+        )
+        sweep = run_load_sweep(
+            server.url,
+            triples,
+            client_levels=client_levels,
+            requests_per_client=requests_per_client,
+        )
+    saturated = next(
+        level for level in sweep.levels if level.clients == sweep.saturation_clients
+    )
+    errors = sum(level.errors for level in sweep.levels)
+    if errors:
+        raise RuntimeError(f"load sweep saw {errors} failed requests")
+    metrics = {
+        "saturation_qps": sweep.saturation_qps,
+        "p50_ms": saturated.p50_ms,
+        "p99_ms": saturated.p99_ms,
+        "requests": float(sum(level.requests for level in sweep.levels)),
+    }
+    info = {
+        "family": "NELL-995",
+        "scale": settings.scale,
+        "client_levels": list(client_levels),
+        "requests_per_client": requests_per_client,
+        "saturation_clients": sweep.saturation_clients,
+        "warmup_requests": sum(level.requests for level in warm.levels),
+    }
+    extras = {"BENCH_serving_load.json": {"workload_info": info, **sweep.as_dict()}}
+    return metrics, info, extras

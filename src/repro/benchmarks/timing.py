@@ -1,0 +1,67 @@
+"""Span-backed timing helpers for benchmark code.
+
+Benchmark workloads and the ``benchmarks/bench_*.py`` scripts time
+through :func:`repro.obs.span` instead of raw ``time.perf_counter``
+pairs (lint rule RL008); these helpers wrap the two recurring shapes —
+"time this callable" and "best wall time over N repeats".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+from repro.obs import MetricsRegistry, span
+
+__all__ = ["timed", "best_of", "best_of_interleaved"]
+
+
+def timed(
+    fn: Callable[[], Any],
+    name: str = "bench.timed",
+    registry: Optional[MetricsRegistry] = None,
+) -> Tuple[float, Any]:
+    """Run ``fn`` once under a span; returns ``(elapsed_seconds, result)``.
+
+    Pass a private ``registry`` to keep driver-side timing (e.g. the load
+    generator's per-request clocks) out of the process-wide metrics.
+    """
+    timer = span(name, registry)
+    with timer:
+        result = fn()
+    return timer.elapsed_s, result
+
+
+def best_of(
+    repeats: int,
+    fn: Callable[[], Any],
+    name: str = "bench.timed",
+    registry: Optional[MetricsRegistry] = None,
+) -> float:
+    """Minimum wall time of ``fn`` over ``repeats`` runs — the standard
+    microbenchmark estimator (least-interference sample)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        elapsed, _ = timed(fn, name, registry)
+        best = min(best, elapsed)
+    return best
+
+
+def best_of_interleaved(
+    repeats: int,
+    *fns: Callable[[], Any],
+    name: str = "bench.timed",
+    registry: Optional[MetricsRegistry] = None,
+) -> Sequence[float]:
+    """Best wall-clock per fn, interleaving runs so CPU-state drift
+    (frequency scaling, cache pressure from earlier tests) hits all
+    contenders equally — the contender-comparison estimator."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            elapsed, _ = timed(fn, name, registry)
+            best[i] = min(best[i], elapsed)
+    return best

@@ -7,6 +7,7 @@ Commands
 ``full``    — fully inductive run (semi/fully unseen relations).
 ``models``  — list available model names.
 ``serve``   — boot the online link-prediction service (JSON over HTTP).
+``obs``     — dump metrics: from a live server's /metrics, or this process.
 
 Examples::
 
@@ -108,6 +109,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="build the app, print its configuration, and exit without serving",
     )
+
+    obs = sub.add_parser("obs", help="dump observability metrics")
+    obs.add_argument(
+        "--url", default=None,
+        help="base URL of a live serving process (fetches <url>/metrics); "
+        "omitted, dumps this process's registry",
+    )
+    obs.add_argument("--format", default="text", choices=["text", "json"])
+    obs.add_argument("--timeout", type=float, default=10.0)
     return parser
 
 
@@ -241,6 +251,30 @@ def cmd_serve(args: argparse.Namespace) -> str:
     return "serving stopped"
 
 
+def cmd_obs(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.obs import get_registry, render_json, render_text
+
+    if args.url is None:
+        return (
+            render_json(get_registry())
+            if args.format == "json"
+            else render_text(get_registry()).rstrip("\n")
+        )
+    from urllib.request import urlopen
+
+    url = args.url.rstrip("/") + "/metrics"
+    if args.format == "text":
+        url += "?format=text"
+    with urlopen(url, timeout=args.timeout) as response:
+        body = response.read().decode("utf-8")
+    if args.format == "json":
+        # Round-trip for validation + stable pretty-printing.
+        return json.dumps(json.loads(body), indent=2, sort_keys=True)
+    return body.rstrip("\n")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -249,6 +283,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "full": cmd_full,
         "models": cmd_models,
         "serve": cmd_serve,
+        "obs": cmd_obs,
     }
     print(handlers[args.command](args))
     return 0

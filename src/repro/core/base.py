@@ -16,7 +16,7 @@ them a common API:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
 from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -25,32 +25,71 @@ from repro.autograd import Module, Tensor, no_grad, ops
 from repro.autograd.engine import SCORE_DTYPE
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
+from repro.obs import get_registry
+
+#: Per-process sequence for model metric namespaces.  Models are
+#: constructed before any fork, so a namespace assigned here names the
+#: same model in every worker — which is what lets the pool merge
+#: worker-side scoring counts back into the parent's metrics.
+_MODEL_SEQ = itertools.count()
 
 
-@dataclass
 class ScoringStats:
-    """Instrumentation for the numpy scoring entry points.
+    """Compatibility shim over the :mod:`repro.obs` metrics registry.
 
     Counts how work arrives at a model: ``batch_calls`` is the number of
     batched scoring invocations, ``triples_scored`` the total triples across
     them, ``largest_batch`` the biggest single call.  The serving layer's
     micro-batching scheduler is validated against these counters (N
     coalesced requests must show up as *one* ``batch_calls`` increment).
+
+    The counts live in the process-wide registry under
+    ``model.<namespace>.*`` (counters for the first two, a high-water
+    gauge for ``largest_batch``), so the same numbers surface on the
+    serving ``GET /metrics`` endpoint — including work done inside
+    ``repro.parallel`` worker processes, whose registry deltas merge back
+    under the identical names.  The attribute API is unchanged from the
+    pre-registry dataclass; prefer :meth:`snapshot` deltas over
+    :meth:`reset` when asserting on a model shared across tests.
     """
 
-    batch_calls: int = 0
-    triples_scored: int = 0
-    largest_batch: int = 0
+    __slots__ = ("namespace",)
+
+    def __init__(self, namespace: str) -> None:
+        self.namespace = namespace
 
     def record(self, batch_size: int) -> None:
-        self.batch_calls += 1
-        self.triples_scored += batch_size
-        self.largest_batch = max(self.largest_batch, batch_size)
+        registry = get_registry()
+        registry.counter(f"{self.namespace}.batch_calls").inc()
+        registry.counter(f"{self.namespace}.triples_scored").inc(batch_size)
+        registry.gauge(f"{self.namespace}.largest_batch").set_max(batch_size)
+
+    @property
+    def batch_calls(self) -> int:
+        return int(get_registry().counter_value(f"{self.namespace}.batch_calls"))
+
+    @property
+    def triples_scored(self) -> int:
+        return int(
+            get_registry().counter_value(f"{self.namespace}.triples_scored")
+        )
+
+    @property
+    def largest_batch(self) -> int:
+        return int(get_registry().gauge_value(f"{self.namespace}.largest_batch"))
+
+    def snapshot(self) -> Dict[str, int]:
+        """Point-in-time copy — subtract two snapshots to assert on the
+        work a specific code path did, without resetting shared state."""
+        return {
+            "batch_calls": self.batch_calls,
+            "triples_scored": self.triples_scored,
+            "largest_batch": self.largest_batch,
+        }
 
     def reset(self) -> None:
-        self.batch_calls = 0
-        self.triples_scored = 0
-        self.largest_batch = 0
+        """Zero only this model's namespace in the process registry."""
+        get_registry().reset(prefix=f"{self.namespace}.")
 
 
 class SubgraphScoringModel(Module):
@@ -60,7 +99,7 @@ class SubgraphScoringModel(Module):
         super().__init__()
         self._sample_cache: Dict[Tuple[int, Triple], Any] = {}
         self._cached_graphs: Dict[int, KnowledgeGraph] = {}
-        self.scoring_stats = ScoringStats()
+        self.scoring_stats = ScoringStats(f"model.m{next(_MODEL_SEQ)}")
 
     # ------------------------------------------------------------------
     def prepare(self, graph: KnowledgeGraph, triple: Triple) -> Any:

@@ -28,6 +28,7 @@ from repro.eval.metrics import average_precision, hits_at, mrr, rank_of_first
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import negative_triples, ranking_candidates
 from repro.kg.triples import Triple, TripleSet
+from repro.obs import get_registry, span
 from repro.utils.seeding import seeded_rng
 
 
@@ -235,15 +236,17 @@ def evaluate_entity_prediction(
     if not queries:
         raise ValueError("no test triples")
     query_lists = build_ranking_queries(graph, targets, rng, num_negatives)
-    if pool is not None and pool.workers > 1:
-        from repro.parallel.evaluation import score_query_lists
+    with span("eval.rank"):
+        if pool is not None and pool.workers > 1:
+            from repro.parallel.evaluation import score_query_lists
 
-        per_query_scores = score_query_lists(pool, query_lists)
-    else:
-        per_query_scores = []
-        for candidates in query_lists:
-            with no_grad():
-                per_query_scores.append(model.score_triples(graph, candidates))
+            per_query_scores = score_query_lists(pool, query_lists)
+        else:
+            per_query_scores = []
+            for candidates in query_lists:
+                with no_grad():
+                    per_query_scores.append(model.score_triples(graph, candidates))
+    get_registry().counter("eval.queries").inc(len(query_lists))
     ranks: List[float] = [rank_of_first(scores) for scores in per_query_scores]
     return RankingResult(
         mrr=mrr(ranks),

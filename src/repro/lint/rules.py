@@ -1,4 +1,4 @@
-"""The project rules (RL001–RL007).
+"""The project rules (RL001–RL008).
 
 Each rule encodes a bug class this repository has actually shipped (and
 fixed) or an architectural invariant the ROADMAP depends on.  The rule
@@ -512,6 +512,80 @@ class GradHygieneRule(Rule):
         )
 
 
+# ---------------------------------------------------------------------------
+# RL008 — instrumentation clock discipline
+# ---------------------------------------------------------------------------
+@register_rule
+class InstrumentationClockRule(Rule):
+    """No hand-rolled wall-clock instrumentation outside ``repro.obs``.
+
+    PR 7's consolidation: scattered ``time.perf_counter()`` pairs across
+    the benchmark scripts each reinvented timing, reporting and reset
+    semantics, and none of their numbers reached ``/metrics``.  Library
+    code under ``src/repro`` times through :func:`repro.obs.span` (which
+    owns the one sanctioned ``perf_counter`` call site), so every
+    measurement lands in the shared registry with nested attribution.
+    ``time.monotonic`` stays legal — the scheduler's size-or-deadline
+    coalescing uses it for control flow, not measurement.
+    """
+
+    code = "RL008"
+    name = "obs-clock-discipline"
+    summary = (
+        "direct time.time()/perf_counter() instrumentation in src/repro "
+        "outside repro.obs"
+    )
+    node_types = (ast.Call,)
+
+    _BANNED = {
+        "time",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+
+    def begin_file(self, ctx: FileContext) -> None:
+        # Names bound to the time module / its banned members in this file.
+        self._time_aliases: Set[str] = set()
+        self._from_time: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        self._time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in self._BANNED:
+                        self._from_time.add(alias.asname or alias.name)
+
+    def _message(self, call: str) -> str:
+        return (
+            f"{call} is hand-rolled instrumentation; time through "
+            "repro.obs.span(name) so the measurement reaches the metrics "
+            "registry (RL008 clock discipline)"
+        )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Violation]:
+        assert isinstance(node, ast.Call)
+        if not ctx.path.startswith("src/repro/") or ctx.path.startswith(
+            "src/repro/obs/"
+        ):
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._BANNED
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._time_aliases
+        ):
+            yield self.violation(
+                node, ctx, self._message(f"{func.value.id}.{func.attr}()")
+            )
+        elif isinstance(func, ast.Name) and func.id in self._from_time:
+            yield self.violation(node, ctx, self._message(f"{func.id}()"))
+
+
 # Dict of code -> rule class is assembled by the registry; importing this
 # module is what populates it (see repro.lint.registry.all_rules).
 RULES: Dict[str, Type[Rule]] = {
@@ -524,5 +598,6 @@ RULES: Dict[str, Type[Rule]] = {
         ForkSafetyRule,
         LegacyParityRule,
         GradHygieneRule,
+        InstrumentationClockRule,
     )
 }

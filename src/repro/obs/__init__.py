@@ -1,0 +1,42 @@
+"""Lightweight metrics/tracing core for the repro system.
+
+The north star is a serving system under heavy traffic; this package is
+how the repo measures itself on the way there.  Storage
+(:mod:`repro.obs.registry`), measurement (:mod:`repro.obs.spans`) and
+rendering (:mod:`repro.obs.export`) are separate layers:
+
+* ``get_registry()`` — the process-wide :class:`MetricsRegistry` that
+  instrumented hot paths (prepare, train step, eval ranking, serving)
+  record into; fork-aware via the ``repro.parallel`` worker pool, which
+  merges per-rank deltas back over its result channel.
+* ``span(name)`` — context manager / decorator timing a region into
+  ``span.<name>.ms`` / ``.self_ms`` histograms with nested attribution.
+* ``render_text()`` / ``render_json()`` — exporters behind the serving
+  ``GET /metrics`` endpoint and the ``repro obs`` CLI subcommand.
+"""
+
+from repro.obs.export import render_json, render_text
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.spans import Span, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "get_registry",
+    "set_registry",
+    "Span",
+    "span",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,68 @@
+"""Render a registry snapshot as JSON or flat text.
+
+The text form is a Prometheus-style exposition (one ``name value`` line
+per sample, histogram buckets as ``name_bucket{le="..."}``) so ``curl
+/metrics?format=text`` and the ``repro obs`` CLI stay grep-able; the
+JSON form is the raw :meth:`MetricsRegistry.snapshot` dict.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Optional
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_json(
+    registry: Optional[MetricsRegistry] = None, indent: int = 2
+) -> str:
+    registry = registry if registry is not None else get_registry()
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def _sample_name(name: str) -> str:
+    """Dotted metric names become underscore sample names in text form."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def render_text(
+    registry_or_snapshot: Optional[object] = None,
+) -> str:
+    """Flat-text exposition of a registry or a snapshot dict."""
+    if registry_or_snapshot is None:
+        snapshot: Mapping = get_registry().snapshot()
+    elif isinstance(registry_or_snapshot, MetricsRegistry):
+        snapshot = registry_or_snapshot.snapshot()
+    else:
+        snapshot = registry_or_snapshot  # type: ignore[assignment]
+
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        lines.append(f"{_sample_name(name)}_total {_fmt(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        lines.append(f"{_sample_name(name)} {_fmt(value)}")
+    for name, data in snapshot.get("histograms", {}).items():
+        sample = _sample_name(name)
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            lines.append(f'{sample}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+        cumulative += data["counts"][-1]
+        lines.append(f'{sample}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{sample}_count {data['count']}")
+        lines.append(f"{sample}_sum {_fmt(data['sum'])}")
+        if data.get("min") is not None:
+            lines.append(f"{sample}_min {_fmt(data['min'])}")
+        if data.get("max") is not None:
+            lines.append(f"{sample}_max {_fmt(data['max'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)

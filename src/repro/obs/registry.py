@@ -1,0 +1,325 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the storage layer of :mod:`repro.obs` — deliberately
+decoupled from where measurements are *taken* (spans, instrumented hot
+paths) and from where they are *rendered* (:mod:`repro.obs.export`, the
+serving ``/metrics`` endpoint), in the storage-vs-dispatch layering
+MegEngine uses for its instrumentation seams.
+
+Three metric kinds, all keyed by flat dotted names:
+
+* :class:`Counter` — monotonically increasing float; merge = sum.
+* :class:`Gauge` — last-set value; merge = max (gauges record high-water
+  marks such as largest batch or peak queue depth, so the fork-merge that
+  combines per-rank registries keeps the *worst* observation).
+* :class:`Histogram` — fixed upper-bound buckets plus an implicit
+  overflow bucket, with count/sum/min/max; merge = element-wise sum of
+  bucket counts (min/max fold accordingly).
+
+Fork safety: each process accumulates into its own module-global registry
+(:func:`get_registry`).  Worker processes of
+:class:`repro.parallel.pool.WorkerPool` reset their inherited copy at
+startup and ship a :meth:`MetricsRegistry.collect` delta back through the
+pool's result channel after every task; the parent merges the delta, so
+``workers=N`` ends with the same registry totals the serial run produces
+(pinned by ``tests/test_obs.py``).
+
+All mutation goes through one re-entrant lock per registry: the serving
+layer increments from its scheduler worker and HTTP handler threads
+concurrently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "get_registry",
+    "set_registry",
+]
+
+#: Default histogram buckets for millisecond latencies: roughly
+#: logarithmic from sub-millisecond numpy calls to multi-second epochs.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (merge keeps the maximum across processes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """High-water-mark update (``largest_batch`` style gauges)."""
+        value = float(value)
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with an implicit overflow bucket.
+
+    ``buckets`` holds the *upper bounds* of each finite bucket; a sample
+    larger than the last bound lands in the overflow bucket, so
+    ``len(counts) == len(buckets) + 1`` always.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        bounds = tuple(
+            float(b) for b in (buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS_MS)
+        )
+        if not bounds:
+            raise ValueError(f"histogram {self.__class__.__name__} needs >=1 bucket")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name!r} buckets must be ascending")
+        self.name = name
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the ``q``-th sample); ``None`` on an empty histogram.
+
+        Samples in the overflow bucket report the observed maximum — the
+        histogram has no upper bound there, but it does know the extreme.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        # Rank of the q-th sample (1-based, ceiling), clamped to >= 1.
+        rank = max(1, int(-(-q * self.count // 1)))
+        seen = 0
+        for i, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                return self.max
+        return self.max  # pragma: no cover - rank <= count always hits
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with snapshot/merge/reset.
+
+    One instance per process is the normal mode (:func:`get_registry`);
+    standalone registries are used by tests and by anything that wants
+    isolated accounting.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                self._check_free(name, self._counters)
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                self._check_free(name, self._gauges)
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                self._check_free(name, self._histograms)
+                metric = self._histograms[name] = Histogram(name, buckets)
+            return metric
+
+    def _check_free(self, name: str, owner: Mapping[str, object]) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not owner and name in kind:
+                raise ValueError(
+                    f"metric name {name!r} already registered as a different kind"
+                )
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready copy of every metric (exporters and ``/metrics``)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: metric.value for name, metric in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: metric.value for name, metric in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: {
+                        "buckets": list(metric.buckets),
+                        "counts": list(metric.counts),
+                        "count": metric.count,
+                        "sum": metric.sum,
+                        "min": metric.min,
+                        "max": metric.max,
+                    }
+                    for name, metric in sorted(self._histograms.items())
+                },
+            }
+
+    def collect(self, reset: bool = False) -> dict:
+        """Snapshot, optionally zeroing afterwards (the per-task delta the
+        worker pool ships back to the parent)."""
+        with self._lock:
+            data = self.snapshot()
+            if reset:
+                self.reset()
+            return data
+
+    def merge(self, snapshot: Mapping) -> None:
+        """Fold a :meth:`snapshot`/:meth:`collect` delta into this registry:
+        counters and histogram buckets sum, gauges keep the maximum."""
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                if value:
+                    self.counter(name).inc(value)
+            for name, value in snapshot.get("gauges", {}).items():
+                self.gauge(name).set_max(value)
+            for name, data in snapshot.get("histograms", {}).items():
+                if not data.get("count"):
+                    continue
+                hist = self.histogram(name, data["buckets"])
+                if list(hist.buckets) != [float(b) for b in data["buckets"]]:
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch on merge: "
+                        f"{list(hist.buckets)} vs {data['buckets']}"
+                    )
+                for i, bucket_count in enumerate(data["counts"]):
+                    hist.counts[i] += int(bucket_count)
+                hist.count += int(data["count"])
+                hist.sum += float(data["sum"])
+                for bound, fold in ((data.get("min"), min), (data.get("max"), max)):
+                    if bound is None:
+                        continue
+                    attr = "min" if fold is min else "max"
+                    current = getattr(hist, attr)
+                    setattr(
+                        hist,
+                        attr,
+                        float(bound) if current is None else fold(current, float(bound)),
+                    )
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero every metric (or only names under ``prefix``).
+
+        Metrics are zeroed in place, not removed: live references held by
+        instrumented code keep working after a reset.
+        """
+        with self._lock:
+            for name, counter in self._counters.items():
+                if name.startswith(prefix):
+                    counter.value = 0.0
+            for name, gauge in self._gauges.items():
+                if name.startswith(prefix):
+                    gauge.value = 0.0
+            for name, hist in self._histograms.items():
+                if name.startswith(prefix):
+                    hist.counts = [0] * (len(hist.buckets) + 1)
+                    hist.count = 0
+                    hist.sum = 0.0
+                    hist.min = None
+                    hist.max = None
+
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        with self._lock:
+            metric = self._counters.get(name)
+            return metric.value if metric is not None else 0.0
+
+    def gauge_value(self, name: str) -> float:
+        with self._lock:
+            metric = self._gauges.get(name)
+            return metric.value if metric is not None else 0.0
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                list(self._counters) + list(self._gauges) + list(self._histograms)
+            )
+
+
+#: The process-wide registry every instrumented hot path records into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry (forked children inherit a copy; the
+    worker pool resets it at worker startup and merges deltas back)."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one (tests)."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

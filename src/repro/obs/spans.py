@@ -1,0 +1,110 @@
+"""Wall-clock span timing with nested-span attribution.
+
+``span("train.step")`` works as a context manager or decorator.  Each
+span records into the process registry:
+
+* ``span.<name>.ms`` — histogram of *total* wall time per entry;
+* ``span.<name>.self_ms`` — histogram of total minus time spent in
+  directly nested spans, so a parent span like ``prepare.batch`` shows
+  how much it cost *beyond* its ``prepare.extract`` children;
+* ``span.<name>.calls`` — counter of completed entries.
+
+Nesting is tracked with a thread-local stack: serving handler threads
+and the micro-batch scheduler worker time independently without
+cross-attributing children.
+
+This module is the only place in ``src/repro`` allowed to call
+``time.perf_counter`` directly — lint rule RL008 pins every other
+call site onto spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, TypeVar
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["span", "Span"]
+
+F = TypeVar("F", bound=Callable)
+
+_STACK = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_STACK, "spans", None)
+    if stack is None:
+        stack = _STACK.spans = []
+    return stack
+
+
+class Span:
+    """One timed region; re-usable as a decorator, re-entrant as a
+    context manager (each ``with`` entry is an independent timing)."""
+
+    def __init__(
+        self, name: str, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.name = name
+        self._registry = registry
+        self._start: Optional[float] = None
+        self._child_s = 0.0
+        #: Total seconds of the most recently completed entry (benchmark
+        #: runners read this instead of keeping their own clock pairs).
+        self.elapsed_s: float = 0.0
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        # Resolved per use, not at construction: module-level decorated
+        # functions must follow set_registry() swaps in tests.
+        return self._registry if self._registry is not None else get_registry()
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        self._child_s = 0.0
+        _stack().append(self)
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        end = time.perf_counter()
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        assert self._start is not None
+        self.elapsed_s = end - self._start
+        self_s = max(0.0, self.elapsed_s - self._child_s)
+        if stack:
+            stack[-1]._child_s += self.elapsed_s
+        registry = self.registry
+        registry.histogram(f"span.{self.name}.ms").observe(self.elapsed_s * 1e3)
+        registry.histogram(f"span.{self.name}.self_ms").observe(self_s * 1e3)
+        registry.counter(f"span.{self.name}.calls").inc()
+
+    # -- decorator ------------------------------------------------------
+    def __call__(self, fn: F) -> F:
+        def wrapper(*args: object, **kwargs: object) -> object:
+            # A fresh Span per call keeps decorated functions re-entrant
+            # (recursion would otherwise clobber _start/_child_s).
+            with Span(self.name, self._registry):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = getattr(fn, "__name__", "wrapper")
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__qualname__ = getattr(fn, "__qualname__", wrapper.__name__)
+        wrapper.__wrapped__ = fn  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+
+def span(name: str, registry: Optional[MetricsRegistry] = None) -> Span:
+    """Time a region of code under ``span.<name>.*`` metrics.
+
+    >>> with span("eval.rank"):
+    ...     run_queries()
+
+    >>> @span("train.step")
+    ... def _batch_step(...): ...
+    """
+    return Span(name, registry)

@@ -43,6 +43,7 @@ import traceback
 from queue import Empty
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs import get_registry
 from repro.utils.seeding import worker_rng
 
 #: Handed to forked children by COW inheritance; set only inside
@@ -121,6 +122,11 @@ def _worker_main(rank: int, seed: int, tasks, results) -> None:
     counter = [0]
     for value in context.values():
         _pin_rngs(value, seed, rank, counter)
+    # The fork inherited a COW copy of the parent's metrics registry; zero
+    # it so the per-task deltas shipped below don't double-count whatever
+    # the parent had accumulated before the pool started.
+    registry = get_registry()
+    registry.reset()
     while True:
         task = tasks.get()
         if task is _STOP:
@@ -128,14 +134,19 @@ def _worker_main(rank: int, seed: int, tasks, results) -> None:
         task_id, op, payload = task
         try:
             value = _OPS[op](state, payload)
-            results.put((task_id, rank, "ok", value))
+            delta = registry.collect(reset=True)
+            results.put((task_id, rank, "ok", value, delta))
         except BaseException as error:  # noqa: BLE001 — shipped to parent
+            # Reset anyway: a later successful task must not resurrect the
+            # failed task's partial counts in its delta.
+            registry.reset()
             results.put(
                 (
                     task_id,
                     rank,
                     "error",
                     f"{type(error).__name__}: {error}\n{traceback.format_exc()}",
+                    None,
                 )
             )
 
@@ -225,8 +236,13 @@ class WorkerPool:
             for task_id, payload in enumerate(payloads):
                 self._task_queues[task_id].put((task_id, op, payload))
             results: List[Any] = [None] * len(payloads)
+            registry = get_registry()
             for _ in range(len(payloads)):
-                task_id, rank, status, value = self._collect_one()
+                task_id, rank, status, value, delta = self._collect_one()
+                # Merge the rank's metrics delta before raising on errors:
+                # observability must not lose the work that *did* happen.
+                if delta:
+                    registry.merge(delta)
                 if status != "ok":
                     raise WorkerError(
                         f"worker {rank} failed running {op!r}:\n{value}"

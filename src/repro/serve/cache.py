@@ -14,6 +14,7 @@ from collections import OrderedDict
 from typing import Optional, Tuple
 
 from repro.kg.triples import Triple
+from repro.obs import get_registry
 
 #: Default bound on cached scores (one float per entry; 64k entries is a
 #: few MB including key overhead).
@@ -36,9 +37,11 @@ class ScoreCache:
         value = self._store.get(key)
         if value is None:
             self.misses += 1
+            get_registry().counter("serve.cache.misses").inc()
             return None
         self._store.move_to_end(key)
         self.hits += 1
+        get_registry().counter("serve.cache.hits").inc()
         return value
 
     def put(self, key: ScoreKey, value: float) -> None:

@@ -29,12 +29,18 @@ import numpy as np
 
 from repro.autograd.engine import SCORE_DTYPE
 from repro.kg.triples import Triple
+from repro.obs import get_registry, span
 from repro.serve.session import InferenceSession
 
 
 @dataclass
 class SchedulerStats:
-    """Coalescing observability: how requests became batches."""
+    """Coalescing observability: how requests became batches.
+
+    The same numbers are mirrored into the process metrics registry under
+    ``serve.scheduler.*`` so ``GET /metrics`` reports them; this dataclass
+    remains the scheduler-local view behind ``GET /stats``.
+    """
 
     requests: int = 0
     batches: int = 0
@@ -45,6 +51,11 @@ class SchedulerStats:
 
     def as_dict(self) -> dict:
         return dict(vars(self))
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy — subtract two snapshots instead of resetting
+        a scheduler that other tests share."""
+        return self.as_dict()
 
 
 @dataclass
@@ -194,6 +205,9 @@ class MicroBatchScheduler:
             request.future.set_result(np.empty(0, dtype=SCORE_DTYPE))
             return request.future
         self._queue.put(request)
+        get_registry().gauge("serve.scheduler.queue_depth").set(
+            self._queue.qsize()
+        )
         return request.future
 
     def score_sync(
@@ -232,7 +246,10 @@ class MicroBatchScheduler:
         return batch
 
     def _dispatch(self, batch: List[_Request]) -> None:
+        registry = get_registry()
+        registry.gauge("serve.scheduler.queue_depth").set(self._queue.qsize())
         self.stats.requests += len(batch)
+        registry.counter("serve.scheduler.requests").inc(len(batch))
         # One model call per distinct model in the batch, preserving request
         # order within each group.  Grouping is by the RESOLVED registry key,
         # so equivalent specs ("name", "name@latest-version", default None)
@@ -260,13 +277,21 @@ class MicroBatchScheduler:
         self.stats.largest_batch_triples = max(
             self.stats.largest_batch_triples, total
         )
+        registry.counter("serve.scheduler.batches").inc()
+        registry.counter("serve.scheduler.triples").inc(total)
+        registry.gauge("serve.scheduler.largest_batch_requests").set_max(
+            len(scorable)
+        )
+        registry.gauge("serve.scheduler.largest_batch_triples").set_max(total)
         for key, requests in groups.items():
             flat: List[Triple] = []
             for request in requests:
                 flat.extend(request.triples)
             try:
-                scores = self.session.score(flat, key)
+                with span("serve.dispatch"):
+                    scores = self.session.score(flat, key)
                 self.stats.dispatches += 1
+                registry.counter("serve.scheduler.dispatches").inc()
             except Exception as error:  # noqa: BLE001 — delivered via futures
                 for request in requests:
                     if not request.future.cancelled():

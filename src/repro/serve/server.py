@@ -12,6 +12,8 @@ Endpoints
 ``GET  /health``  — liveness + graph/model/cache summary.
 ``GET  /models``  — registry listing.
 ``GET  /stats``   — scheduler + cache counters.
+``GET  /metrics`` — process metrics registry snapshot (``repro.obs``);
+                    ``?format=text`` for the flat-text exposition.
 ``POST /score``   — ``{"triples": [[h, r, t], ...], "model": "name@v"?}``
                     → ``{"scores": [...], "model": "name@v"}``.
 ``POST /topk``    — ``{"relation": r, "head": h | "tail": t, "k": 10?,
@@ -26,8 +28,10 @@ import threading
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.kg.graph import KnowledgeGraph
+from repro.obs import get_registry, render_text, span
 from repro.serve.cache import DEFAULT_SCORE_CACHE_SIZE
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import MicroBatchScheduler
@@ -148,8 +152,23 @@ class ServingApp:
     def handle(
         self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
     ) -> Tuple[int, Dict[str, Any]]:
-        """Dispatch one request; returns ``(http_status, json_body)``."""
-        payload = payload or {}
+        """Dispatch one request; returns ``(http_status, json_body)``.
+
+        Every request lands in the ``span.serve.http.request.ms`` latency
+        histogram plus per-status-class counters.  The span closes *after*
+        a ``/metrics`` body is built, so a metrics scrape reports every
+        request except itself — scrape traffic never pads its own tail.
+        """
+        with span("serve.http.request"):
+            status, body = self._route(method, path, payload or {})
+        registry = get_registry()
+        registry.counter("serve.http.requests").inc()
+        registry.counter(f"serve.http.responses.{status // 100}xx").inc()
+        return status, body
+
+    def _route(
+        self, method: str, path: str, payload: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
         try:
             route = (method.upper(), path.rstrip("/") or "/")
             if route == ("GET", "/health"):
@@ -163,6 +182,8 @@ class ServingApp:
                     "scheduler": self.scheduler.stats.as_dict(),
                     "cache": self.session.cache.stats(),
                 }
+            if route == ("GET", "/metrics"):
+                return 200, get_registry().snapshot()
             if route == ("POST", "/score"):
                 return 200, self._score(payload)
             if route == ("POST", "/topk"):
@@ -285,19 +306,44 @@ class _Handler(BaseHTTPRequestHandler):
 
     protocol_version = "HTTP/1.1"
 
-    def _respond(self, status: int, body: Dict[str, Any]) -> None:
-        encoded = json.dumps(body).encode("utf-8")
+    def _respond(
+        self,
+        status: int,
+        body: Dict[str, Any],
+        text: Optional[str] = None,
+    ) -> None:
+        if text is not None:
+            encoded = text.encode("utf-8")
+            content_type = "text/plain; charset=utf-8"
+        else:
+            encoded = json.dumps(body).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(encoded)))
         self.end_headers()
         self.wfile.write(encoded)
 
     def _route_path(self) -> str:
-        return self.path.split("?", 1)[0]
+        return urlsplit(self.path).path
+
+    def _query(self) -> Dict[str, str]:
+        return {
+            key: values[-1]
+            for key, values in parse_qs(urlsplit(self.path).query).items()
+        }
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        status, body = self.app.handle("GET", self._route_path())
+        path = self._route_path()
+        query = self._query()
+        status, body = self.app.handle("GET", path, query)
+        if (
+            status == 200
+            and path.rstrip("/") == "/metrics"
+            and query.get("format") == "text"
+        ):
+            self._respond(status, body, text=render_text(body))
+            return
         self._respond(status, body)
 
     def do_POST(self) -> None:  # noqa: N802

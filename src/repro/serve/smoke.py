@@ -3,8 +3,10 @@
 Run as ``PYTHONPATH=src python -m repro.serve.smoke`` (the CI serving job
 step).  Builds a small synthetic benchmark, registers an untrained
 RMPI-base scorer, boots the HTTP server on an ephemeral port, then issues
-a scored query and a top-k query through the thin client — asserting HTTP
-200 and well-formed JSON for each.  Exit code 0 on success.
+a scored query, a top-k query, and a ``/metrics`` scrape through the thin
+client — asserting HTTP 200, well-formed JSON, and that the request
+histogram and cache counters made it into the registry.  Exit code 0 on
+success.
 """
 
 from __future__ import annotations
@@ -67,9 +69,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             assert isinstance(row.get("entity"), int), body
             assert isinstance(row.get("score"), float), body
 
+        status, snap = client.request("GET", "/metrics")
+        assert status == 200, f"/metrics returned {status}: {snap}"
+        counters = snap.get("counters", {})
+        # The scrape excludes itself, so /health + /score + /topk = 3.
+        assert counters.get("serve.http.requests") == 3, counters
+        assert counters.get("serve.http.responses.2xx") == 3, counters
+        assert "serve.cache.misses" in counters, counters
+        histograms = snap.get("histograms", {})
+        assert histograms.get("span.serve.http.request.ms", {}).get("count") == 3, (
+            histograms
+        )
+
         print(
             f"serving smoke OK at {server.url}: score={scores[0]:+.4f}, "
-            f"top-{len(predictions)} of {body.get('num_candidates', 0)} candidates"
+            f"top-{len(predictions)} of {body.get('num_candidates', 0)} candidates, "
+            f"{int(counters['serve.http.requests'])} requests on /metrics"
         )
     return 0
 

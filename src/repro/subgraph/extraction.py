@@ -43,6 +43,7 @@ import numpy as np
 
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple, TripleSet
+from repro.obs import get_registry, span
 
 
 @dataclass(frozen=True)
@@ -243,12 +244,15 @@ def extract_subgraphs_many(
     """
     if kind not in ("enclosing", "disclosing"):
         raise ValueError(f"unknown subgraph kind: {kind!r}")
-    return [
-        _extract_one_vectorized(
-            graph, int(t[0]), int(t[1]), int(t[2]), num_hops, kind
-        )
-        for t in triples
-    ]
+    with span("prepare.extract"):
+        subgraphs = [
+            _extract_one_vectorized(
+                graph, int(t[0]), int(t[1]), int(t[2]), num_hops, kind
+            )
+            for t in triples
+        ]
+    get_registry().counter("prepare.subgraphs").inc(len(subgraphs))
+    return subgraphs
 
 
 def extract_enclosing_subgraph(

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.kg.triples import Triple
+from repro.obs import span
 from repro.subgraph.extraction import ExtractedSubgraph
 
 NUM_EDGE_TYPES = 6
@@ -280,7 +281,13 @@ def build_relational_graphs_many(
     subgraphs = list(subgraphs)
     if not subgraphs:
         return []
+    with span("prepare.linegraph"):
+        return _build_relational_graphs_many(subgraphs)
 
+
+def _build_relational_graphs_many(
+    subgraphs: Sequence[ExtractedSubgraph],
+) -> List[RelationalGraph]:
     node_counts = np.empty(len(subgraphs), dtype=np.int64)
     head_parts: List[np.ndarray] = []
     rel_parts: List[np.ndarray] = []

@@ -24,6 +24,7 @@ from repro.eval.protocol import evaluate_triple_classification
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.sampling import negative_triples
 from repro.kg.triples import TripleSet
+from repro.obs import get_registry, span
 from repro.utils.seeding import seeded_rng
 
 
@@ -149,11 +150,14 @@ class Trainer:
                 known=self._known,
                 candidate_entities=self._entities,
             )
-            step_loss = self._batch_step(batch, negatives)
+            with span("train.step"):
+                step_loss = self._batch_step(batch, negatives)
             if step_loss is None:
                 continue
             epoch_loss += step_loss
             num_batches += 1
+            get_registry().counter("train.triples").inc(len(batch))
+        get_registry().counter("train.epochs").inc()
         self.model.eval()
         return epoch_loss / max(num_batches, 1)
 

@@ -1,0 +1,347 @@
+"""Tests for :mod:`repro.benchmarks` — records, runner, CLI, loadgen math.
+
+The runner is exercised against a stub workload module injected into
+``sys.modules`` so tier-1 never runs a real benchmark; the real workloads
+are smoke-run by the CI ``obs`` step instead.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import types
+
+import pytest
+
+from repro.benchmarks import records
+from repro.benchmarks.__main__ import main as bench_main
+from repro.benchmarks.loadgen import LoadLevelResult, LoadSweepResult
+from repro.benchmarks.records import MetricSpec
+from repro.benchmarks.runner import WORKLOADS, record_path, run_workload
+from repro.benchmarks.timing import best_of, best_of_interleaved, timed
+
+
+# ---------------------------------------------------------------------------
+# Delta math
+# ---------------------------------------------------------------------------
+class TestDeltas:
+    def test_lower_direction_flags_slowdowns(self):
+        specs = {"step_s": MetricSpec("lower", threshold_pct=10.0)}
+        deltas = records.compute_deltas(
+            {"step_s": 0.12}, {"step_s": 0.10}, specs
+        )
+        assert deltas["step_s"]["delta_pct"] == pytest.approx(20.0)
+        assert deltas["step_s"]["regression"] is True
+
+    def test_lower_direction_improvement_is_not_a_regression(self):
+        specs = {"step_s": MetricSpec("lower", threshold_pct=10.0)}
+        deltas = records.compute_deltas(
+            {"step_s": 0.05}, {"step_s": 0.10}, specs
+        )
+        assert deltas["step_s"]["delta_pct"] == pytest.approx(-50.0)
+        assert deltas["step_s"]["regression"] is False
+
+    def test_higher_direction_flags_throughput_drops(self):
+        specs = {"qps": MetricSpec("higher", threshold_pct=10.0)}
+        deltas = records.compute_deltas({"qps": 50.0}, {"qps": 100.0}, specs)
+        assert deltas["qps"]["regression"] is True
+        up = records.compute_deltas({"qps": 200.0}, {"qps": 100.0}, specs)
+        assert up["qps"]["regression"] is False
+
+    def test_informational_metrics_never_regress(self):
+        specs = {"queries": MetricSpec("higher", threshold_pct=None)}
+        deltas = records.compute_deltas(
+            {"queries": 1.0}, {"queries": 100.0}, specs
+        )
+        assert deltas["queries"]["regression"] is False
+
+    def test_drift_within_threshold_passes(self):
+        deltas = records.compute_deltas(
+            {"step_s": 0.11}, {"step_s": 0.10}, {"step_s": MetricSpec("lower")}
+        )
+        assert deltas["step_s"]["regression"] is False  # 10% < default 25%
+
+    def test_metrics_missing_from_baseline_are_skipped(self):
+        deltas = records.compute_deltas({"new_metric": 1.0}, {}, {})
+        assert deltas == {}
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSpec("sideways")
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+class TestRecords:
+    def test_first_record_is_v1_without_baseline(self):
+        record = records.build_record(
+            "w", {"a": 1.0}, {}, timestamp="T", smoke=True, rev="abc"
+        )
+        assert record["schema"] == records.SCHEMA_VERSION
+        assert record["version"] == 1
+        assert record["git_rev"] == "abc"
+        assert "baseline" not in record
+        assert set(record["env"]) >= {"python", "numpy", "platform", "cpus"}
+
+    def test_version_advances_past_baseline(self):
+        baseline = records.build_record(
+            "w", {"a": 1.0}, {}, timestamp="T", smoke=True, rev="abc"
+        )
+        record = records.build_record(
+            "w",
+            {"a": 1.5, "b": 2.0},
+            {"a": MetricSpec("lower", threshold_pct=10.0)},
+            timestamp="T2",
+            smoke=True,
+            baseline=baseline,
+            rev="def",
+        )
+        assert record["version"] == 2
+        assert record["baseline"]["version"] == 1
+        assert record["baseline"]["regressions"] == ["a"]
+        assert "b" not in record["baseline"]["deltas"]  # new metric
+
+    def test_legacy_baseline_flattens_numeric_leaves(self):
+        legacy = {
+            "workers": 4,
+            "prepare": {"serial_s": 1.0, "speedup": 2.0},
+            "gate_enforced": True,  # bool: dropped
+            "note": "text",  # string: dropped
+        }
+        flat = records.baseline_metrics(legacy)
+        assert flat == {
+            "workers": 4.0,
+            "prepare.serial_s": 1.0,
+            "prepare.speedup": 2.0,
+        }
+
+    def test_new_format_baseline_uses_metrics_block(self):
+        record = records.build_record(
+            "w", {"a": 1.0}, {}, timestamp="T", smoke=True, rev="abc"
+        )
+        assert records.baseline_metrics(record) == {"a": 1.0}
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        record = records.build_record(
+            "w", {"a": 1.0}, {}, timestamp="T", smoke=False, rev="abc"
+        )
+        path = records.write_record(record, str(tmp_path / "r" / "BENCH_w.json"))
+        assert records.load_baseline(path) == record
+
+    def test_load_baseline_tolerates_missing_and_garbage(self, tmp_path):
+        assert records.load_baseline(str(tmp_path / "nope.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert records.load_baseline(str(bad)) is None
+
+    def test_render_report_marks_regressions(self):
+        baseline = records.build_record(
+            "w", {"a": 1.0}, {}, timestamp="T", smoke=True, rev="abc"
+        )
+        record = records.build_record(
+            "w",
+            {"a": 2.0},
+            {"a": MetricSpec("lower", threshold_pct=10.0)},
+            timestamp="T2",
+            smoke=True,
+            baseline=baseline,
+            rev="def",
+        )
+        report = records.render_report(record)
+        assert "REGRESSION" in report
+        assert "regressions: a" in report
+
+
+# ---------------------------------------------------------------------------
+# Runner + CLI (stub workload, no real benchmarks in tier-1)
+# ---------------------------------------------------------------------------
+STUB_METRICS = {"step_s": 0.1, "steps_per_s": 10.0}
+
+
+@pytest.fixture
+def stub_workload(monkeypatch):
+    """Install a fake ``stub`` workload whose metrics tests can mutate."""
+    module = types.ModuleType("repro.benchmarks._stub_workload")
+    module.SPECS = {
+        "step_s": MetricSpec("lower", threshold_pct=10.0),
+        "steps_per_s": MetricSpec("higher", threshold_pct=10.0),
+    }
+    state = {"metrics": dict(STUB_METRICS), "extras": None}
+
+    def run(smoke):
+        info = {"smoke": smoke}
+        if state["extras"] is not None:
+            return dict(state["metrics"]), info, state["extras"]
+        return dict(state["metrics"]), info
+
+    module.run = run
+    sys.modules[module.__name__] = module
+    monkeypatch.setitem(WORKLOADS, "stub", module.__name__)
+    try:
+        yield state
+    finally:
+        sys.modules.pop(module.__name__, None)
+
+
+class TestRunner:
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            run_workload("nope", timestamp="T")
+
+    def test_first_run_writes_v1_record(self, stub_workload, tmp_path):
+        record, regressions = run_workload(
+            "stub", timestamp="T", smoke=True, results_dir=str(tmp_path)
+        )
+        assert record["version"] == 1
+        assert regressions == []
+        on_disk = json.loads(
+            (tmp_path / "BENCH_stub.json").read_text(encoding="utf-8")
+        )
+        assert on_disk["metrics"] == STUB_METRICS
+
+    def test_second_run_versions_against_committed(self, stub_workload, tmp_path):
+        run_workload("stub", timestamp="T", results_dir=str(tmp_path))
+        record, regressions = run_workload(
+            "stub", timestamp="T2", results_dir=str(tmp_path)
+        )
+        assert record["version"] == 2
+        assert regressions == []
+        assert record["baseline"]["deltas"]["step_s"]["delta_pct"] == 0.0
+
+    def test_regression_detected_and_reported(self, stub_workload, tmp_path):
+        run_workload("stub", timestamp="T", results_dir=str(tmp_path))
+        stub_workload["metrics"] = {"step_s": 0.2, "steps_per_s": 5.0}
+        record, regressions = run_workload(
+            "stub", timestamp="T2", results_dir=str(tmp_path)
+        )
+        assert regressions == ["step_s", "steps_per_s"]
+
+    def test_no_write_leaves_baseline_untouched(self, stub_workload, tmp_path):
+        run_workload("stub", timestamp="T", results_dir=str(tmp_path))
+        before = (tmp_path / "BENCH_stub.json").read_text(encoding="utf-8")
+        run_workload("stub", timestamp="T2", results_dir=str(tmp_path), write=False)
+        assert (tmp_path / "BENCH_stub.json").read_text(encoding="utf-8") == before
+
+    def test_extras_archived_with_stamps(self, stub_workload, tmp_path):
+        stub_workload["extras"] = {"BENCH_stub_load.json": {"qps": 5.0}}
+        run_workload("stub", timestamp="T", results_dir=str(tmp_path))
+        extra = json.loads(
+            (tmp_path / "BENCH_stub_load.json").read_text(encoding="utf-8")
+        )
+        assert extra["qps"] == 5.0
+        assert extra["timestamp"] == "T"
+        assert extra["git_rev"]
+
+    def test_record_path_defaults_to_repo_results_dir(self):
+        assert record_path("serving").endswith("benchmarks/results/BENCH_serving.json")
+
+
+class TestCli:
+    def test_run_exits_zero_without_regressions(self, stub_workload, tmp_path, capsys):
+        argv = ["run", "--workload", "stub", "--results-dir", str(tmp_path)]
+        assert bench_main(argv + ["--smoke"]) == 0
+        assert "establishes v1" in capsys.readouterr().out
+
+    def test_check_exits_nonzero_on_regression(self, stub_workload, tmp_path, capsys):
+        argv = ["run", "--workload", "stub", "--results-dir", str(tmp_path)]
+        assert bench_main(argv) == 0
+        stub_workload["metrics"] = {"step_s": 0.5, "steps_per_s": 1.0}
+        assert bench_main(argv + ["--check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "FAIL" in out
+
+    def test_check_passes_when_within_thresholds(self, stub_workload, tmp_path):
+        argv = ["run", "--workload", "stub", "--results-dir", str(tmp_path)]
+        assert bench_main(argv) == 0
+        assert bench_main(argv + ["--check"]) == 0
+
+    def test_list_shows_baseline_versions(self, stub_workload, tmp_path, capsys):
+        bench_main(["run", "--workload", "stub", "--results-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert bench_main(["list", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stub" in out and "v1" in out
+        assert "no baseline" in out  # the real workloads have none here
+
+    def test_compare_rerenders_committed_record(self, stub_workload, tmp_path, capsys):
+        bench_main(["run", "--workload", "stub", "--results-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert (
+            bench_main(
+                ["compare", "--workload", "stub", "--results-dir", str(tmp_path)]
+            )
+            == 0
+        )
+        assert "workload stub v1" in capsys.readouterr().out
+
+    def test_compare_missing_record_fails(self, stub_workload, tmp_path, capsys):
+        assert (
+            bench_main(
+                ["compare", "--workload", "stub", "--results-dir", str(tmp_path)]
+            )
+            == 1
+        )
+
+
+# ---------------------------------------------------------------------------
+# Timing helpers
+# ---------------------------------------------------------------------------
+class TestTiming:
+    def test_timed_returns_elapsed_and_result(self):
+        elapsed, result = timed(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_best_of_takes_the_minimum(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        best = best_of(3, fn)
+        assert len(calls) == 3
+        assert best >= 0.0
+        with pytest.raises(ValueError):
+            best_of(0, fn)
+
+    def test_best_of_interleaved_returns_one_best_per_fn(self):
+        order = []
+        fns = [lambda i=i: order.append(i) for i in range(3)]
+        best = best_of_interleaved(2, *fns)
+        assert len(best) == 3
+        assert order == [0, 1, 2, 0, 1, 2]  # interleaved, not grouped
+
+
+# ---------------------------------------------------------------------------
+# Load-generator result math (no live server in tier-1)
+# ---------------------------------------------------------------------------
+class TestLoadResults:
+    def test_level_result_as_dict(self):
+        level = LoadLevelResult(
+            clients=2,
+            requests=50,
+            errors=0,
+            elapsed_s=0.5,
+            qps=100.0,
+            p50_ms=2.0,
+            p99_ms=9.0,
+        )
+        data = level.as_dict()
+        assert data["clients"] == 2
+        assert data["qps"] == 100.0
+
+    def test_sweep_result_reports_saturation_level(self):
+        levels = [
+            LoadLevelResult(1, 25, 0, 1.0, 25.0, 2.0, 5.0),
+            LoadLevelResult(2, 50, 0, 1.0, 50.0, 3.0, 8.0),
+            LoadLevelResult(4, 100, 0, 2.5, 40.0, 6.0, 20.0),
+        ]
+        sweep = LoadSweepResult(
+            levels=tuple(levels), saturation_qps=50.0, saturation_clients=2
+        )
+        data = sweep.as_dict()
+        assert data["saturation_qps"] == 50.0
+        assert data["saturation_clients"] == 2
+        assert [lvl["clients"] for lvl in data["levels"]] == [1, 2, 4]

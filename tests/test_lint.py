@@ -449,6 +449,91 @@ def test_rl007_ignores_modules_outside_autograd(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# RL008 — instrumentation clock discipline
+# ---------------------------------------------------------------------------
+def test_rl008_flags_time_and_perf_counter_in_library_code(tmp_path):
+    violations = run_lint(
+        [(
+            "src/repro/train/timing_hack.py",
+            """
+            import time
+            from time import perf_counter
+
+            def step(fn):
+                start = perf_counter()
+                fn()
+                wall = time.time()
+                return time.perf_counter() - start, wall
+            """,
+        )],
+        tmp_path,
+    )
+    assert codes(violations) == ["RL008", "RL008", "RL008"]
+    assert "repro.obs.span" in violations[0].message
+
+
+def test_rl008_tracks_import_aliases(tmp_path):
+    violations = run_lint(
+        [(
+            "src/repro/eval/clocked.py",
+            """
+            import time as t
+            from time import perf_counter as pc
+
+            def measure(fn):
+                start = pc()
+                fn()
+                return t.perf_counter() - start
+            """,
+        )],
+        tmp_path,
+    )
+    assert codes(violations) == ["RL008", "RL008"]
+
+
+def test_rl008_allows_monotonic_obs_and_out_of_scope_paths(tmp_path):
+    deadline = """
+    import time
+
+    def wait(timeout):
+        return time.monotonic() + timeout
+    """
+    clocked = """
+    import time
+
+    def now():
+        return time.perf_counter()
+    """
+    violations = run_lint(
+        [
+            ("src/repro/serve/deadline.py", deadline),  # monotonic: control flow
+            ("src/repro/obs/clock.py", clocked),  # the sanctioned call site
+            ("benchmarks/bench_adhoc.py", clocked),  # outside src/repro
+            ("tests/test_adhoc.py", clocked),
+        ],
+        tmp_path,
+    )
+    assert violations == []
+
+
+def test_rl008_suppression_with_reason(tmp_path):
+    violations = run_lint(
+        [(
+            "src/repro/train/wall.py",
+            """
+            import time
+
+            def wall_budget_exceeded(start, budget):
+                now = time.time()  # repro-lint: disable=RL008 wall budget compares epoch time, not a measurement
+                return now - start > budget
+            """,
+        )],
+        tmp_path,
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 def test_trailing_suppression_with_reason_mutes_violation(tmp_path):
@@ -593,10 +678,10 @@ def test_per_path_ignores_scope_rules_to_prefix(tmp_path):
     assert codes(in_src) == ["RL001", "RL004"]
 
 
-def test_registry_has_all_seven_project_rules():
+def test_registry_has_all_eight_project_rules():
     rules = all_rules()
-    assert set(rules) >= {f"RL00{i}" for i in range(1, 8)}
-    assert len(resolve_rules((), ())) >= 7
+    assert set(rules) >= {f"RL00{i}" for i in range(1, 9)}
+    assert len(resolve_rules((), ())) >= 8
 
 
 def test_fallback_config_matches_pyproject_section():

@@ -1,0 +1,304 @@
+"""Tests for :mod:`repro.obs` — registry, spans, exporters, fork-merge.
+
+The fork-merge parity sweep is the load-bearing case: a ``WorkerPool``
+run at workers ∈ {1, 2, 4} must leave the parent registry with the same
+totals a serial run produces, because worker children reset their
+inherited registry at startup and ship per-task deltas back through the
+result channel.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    render_json,
+    render_text,
+    set_registry,
+    span,
+)
+from repro.obs.registry import Histogram
+from repro.parallel import WorkerPool
+from repro.parallel.pool import fork_available, register_op
+
+
+@pytest.fixture
+def registry():
+    """A fresh process-wide registry, restored after the test."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)
+
+
+# ---------------------------------------------------------------------------
+# Registry basics
+# ---------------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_accumulates_and_rejects_decrease(self, registry):
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(2.5)
+        assert registry.counter_value("a.b") == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_high_water_mark(self, registry):
+        gauge = registry.gauge("queue.depth")
+        gauge.set(4)
+        gauge.set(2)
+        assert registry.gauge_value("queue.depth") == 2
+        gauge.set_max(7)
+        gauge.set_max(3)  # below the mark: ignored
+        assert registry.gauge_value("queue.depth") == 7
+
+    def test_same_name_different_kind_is_an_error(self, registry):
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_metric_objects_are_cached(self, registry):
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_reset_zeroes_in_place_and_scopes_to_prefix(self, registry):
+        counter = registry.counter("model.m0.calls")
+        other = registry.counter("serve.requests")
+        counter.inc(5)
+        other.inc(2)
+        registry.reset(prefix="model.m0.")
+        assert registry.counter_value("model.m0.calls") == 0
+        assert registry.counter_value("serve.requests") == 2
+        # The live reference keeps working after the reset.
+        counter.inc()
+        assert registry.counter_value("model.m0.calls") == 1
+
+    def test_merge_sums_counters_and_maxes_gauges(self, registry):
+        registry.counter("n").inc(3)
+        registry.gauge("peak").set(5)
+        delta = {"counters": {"n": 2.0}, "gauges": {"peak": 4.0, "new": 9.0}}
+        registry.merge(delta)
+        assert registry.counter_value("n") == 5
+        assert registry.gauge_value("peak") == 5  # incoming 4 < current 5
+        assert registry.gauge_value("new") == 9
+
+    def test_collect_reset_ships_delta_once(self, registry):
+        registry.counter("n").inc(3)
+        delta = registry.collect(reset=True)
+        assert delta["counters"]["n"] == 3
+        assert registry.counter_value("n") == 0
+        other = MetricsRegistry()
+        other.merge(delta)
+        other.merge(registry.collect(reset=True))  # empty second delta
+        assert other.counter_value("n") == 3
+
+
+# ---------------------------------------------------------------------------
+# Histogram edges
+# ---------------------------------------------------------------------------
+class TestHistogram:
+    def test_empty_histogram(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        assert hist.count == 0
+        assert hist.mean is None
+        assert hist.quantile(0.5) is None
+        assert hist.min is None and hist.max is None
+
+    def test_single_sample_lands_in_its_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        hist.observe(1.5)
+        assert hist.counts == [0, 1, 0, 0]
+        assert hist.count == 1
+        assert hist.quantile(0.0) == 2.0
+        assert hist.quantile(1.0) == 2.0
+        assert hist.min == hist.max == 1.5
+
+    def test_overflow_bucket_reports_observed_max(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        hist.observe(250.0)
+        assert hist.counts == [0, 0, 2]
+        assert hist.quantile(0.5) == 250.0  # no bound: the known extreme
+        assert hist.quantile(0.99) == 250.0
+
+    def test_quantiles_at_bucket_resolution(self):
+        hist = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.quantile(0.25) == 1.0
+        assert hist.quantile(0.5) == 10.0
+        assert hist.quantile(1.0) == 100.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_merge_requires_matching_buckets(self, registry):
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        bad = {
+            "histograms": {
+                "h": {
+                    "buckets": [1.0, 5.0],
+                    "counts": [1, 0, 0],
+                    "count": 1,
+                    "sum": 0.5,
+                    "min": 0.5,
+                    "max": 0.5,
+                }
+            }
+        }
+        with pytest.raises(ValueError):
+            registry.merge(bad)
+
+    def test_merge_sums_bucket_counts_and_folds_extremes(self, registry):
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        delta = {
+            "histograms": {
+                "h": {
+                    "buckets": [1.0, 2.0],
+                    "counts": [0, 1, 1],
+                    "count": 2,
+                    "sum": 7.5,
+                    "min": 1.5,
+                    "max": 6.0,
+                }
+            }
+        }
+        registry.merge(delta)
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.sum == 8.0
+        assert hist.min == 0.5 and hist.max == 6.0
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+class TestSpans:
+    def test_span_records_histograms_and_calls(self, registry):
+        with span("unit.work") as timer:
+            pass
+        assert timer.elapsed_s >= 0.0
+        snap = registry.snapshot()
+        assert snap["histograms"]["span.unit.work.ms"]["count"] == 1
+        assert snap["histograms"]["span.unit.work.self_ms"]["count"] == 1
+        assert snap["counters"]["span.unit.work.calls"] == 1
+
+    def test_nested_span_self_time_excludes_children(self, registry):
+        with span("outer"):
+            with span("inner"):
+                pass
+        snap = registry.snapshot()["histograms"]
+        outer_total = snap["span.outer.ms"]["sum"]
+        outer_self = snap["span.outer.self_ms"]["sum"]
+        inner_total = snap["span.inner.ms"]["sum"]
+        assert outer_self <= outer_total
+        assert outer_total >= inner_total
+
+    def test_decorator_counts_every_call_and_recursion(self, registry):
+        @span("unit.fib")
+        def fib(n):
+            return n if n < 2 else fib(n - 1) + fib(n - 2)
+
+        assert fib(4) == 3
+        assert registry.counter_value("span.unit.fib.calls") == 9
+
+    def test_private_registry_keeps_global_clean(self, registry):
+        private = MetricsRegistry()
+        with span("driver.request", private):
+            pass
+        assert private.counter_value("span.driver.request.calls") == 1
+        assert "span.driver.request.calls" not in registry.names()
+
+    def test_span_follows_set_registry_swap(self, registry):
+        timer = span("swapped")
+        with timer:
+            pass
+        assert registry.counter_value("span.swapped.calls") == 1
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+class TestExporters:
+    def test_render_json_round_trips_snapshot(self, registry):
+        registry.counter("a.calls").inc(2)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        parsed = json.loads(render_json(registry))
+        assert parsed == registry.snapshot()
+
+    def test_render_text_exposition(self, registry):
+        registry.counter("serve.http.requests").inc(3)
+        registry.gauge("serve.scheduler.queue_depth").set(2)
+        hist = registry.histogram("req.ms", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(120.0)
+        text = render_text(registry)
+        assert "serve_http_requests_total 3" in text
+        assert "serve_scheduler_queue_depth 2" in text
+        assert 'req_ms_bucket{le="1"} 1' in text
+        assert 'req_ms_bucket{le="+Inf"} 2' in text
+        assert "req_ms_count 2" in text
+        assert "req_ms_max 120" in text
+
+    def test_render_text_accepts_snapshot_dict(self, registry):
+        registry.counter("n").inc()
+        assert render_text(registry.snapshot()) == render_text(registry)
+
+    def test_render_text_empty_registry(self):
+        assert render_text(MetricsRegistry()) == ""
+
+
+# ---------------------------------------------------------------------------
+# Fork-merge parity
+# ---------------------------------------------------------------------------
+@register_op("obs_test_observe")
+def _obs_test_observe(context, payload):
+    """Worker op: record one span + a counter per item, return the count."""
+    with span("obstest.task"):
+        registry = get_registry()
+        registry.counter("obstest.items").inc(len(payload))
+        registry.gauge("obstest.largest").set_max(len(payload))
+    return len(payload)
+
+
+@pytest.mark.parallel
+@pytest.mark.skipif(not fork_available(), reason="requires fork start method")
+class TestForkMergeParity:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_worker_deltas_merge_to_serial_totals(
+        self, workers, max_workers, registry
+    ):
+        workers = min(workers, max_workers)
+        payloads = [[0] * (rank + 1) for rank in range(workers)]
+        expected_items = sum(len(p) for p in payloads)
+
+        with WorkerPool(workers, context={}) as pool:
+            results = pool.run("obs_test_observe", payloads)
+
+        assert results == [len(p) for p in payloads]
+        assert registry.counter_value("obstest.items") == expected_items
+        assert registry.gauge_value("obstest.largest") == max(map(len, payloads))
+        assert registry.counter_value("span.obstest.task.calls") == workers
+        snap = registry.snapshot()
+        assert snap["histograms"]["span.obstest.task.ms"]["count"] == workers
+
+    def test_parent_metrics_not_double_counted(self, registry, max_workers):
+        workers = min(2, max_workers)
+        # Parent-side activity before the pool run: the forked children
+        # must reset their inherited copy, not re-ship it.
+        registry.counter("obstest.items").inc(100)
+        with WorkerPool(workers, context={}) as pool:
+            pool.run("obs_test_observe", [[0]] * workers)
+        assert registry.counter_value("obstest.items") == 100 + workers

@@ -10,6 +10,7 @@ offline evaluation protocol's scoring path.
 from __future__ import annotations
 
 import threading
+import urllib.request
 
 import numpy as np
 import pytest
@@ -20,6 +21,9 @@ from repro.core import RMPI, RMPIConfig
 from repro.eval.protocol import candidate_entity_pool, known_fact_set
 from repro.eval.metrics import rank_of_first
 from repro.kg import KnowledgeGraph, TripleSet, ranking_candidates
+from repro.obs import MetricsRegistry
+from repro.obs import set_registry as set_obs_registry
+from repro.parallel.pool import fork_available
 from repro.serve import (
     InferenceSession,
     MicroBatchScheduler,
@@ -330,14 +334,15 @@ class TestMicroBatchScheduler:
         scheduler = MicroBatchScheduler(session, max_batch_size=64, max_wait_ms=50)
         triples = [(0, 0, 1), (2, 1, 0), (1, 2, 2), (3, 4, 1), (0, 3, 3), (1, 5, 5)]
         model = registry.get("rmpi").model
-        model.scoring_stats.reset()
+        before = model.scoring_stats.snapshot()
         # Queue 6 requests before the worker runs: deterministic coalescing.
         futures = [scheduler.submit([triple]) for triple in triples]
         with scheduler:
             scores = [future.result(timeout=30) for future in futures]
+        after = model.scoring_stats.snapshot()
         # ≥ 4 concurrent requests reached the model as ONE batched call.
-        assert model.scoring_stats.batch_calls == 1
-        assert model.scoring_stats.triples_scored == len(triples)
+        assert after["batch_calls"] - before["batch_calls"] == 1
+        assert after["triples_scored"] - before["triples_scored"] == len(triples)
         assert scheduler.stats.batches == 1
         assert scheduler.stats.largest_batch_requests == len(triples)
         expected = model.score_triples(family_graph, triples)
@@ -367,7 +372,7 @@ class TestMicroBatchScheduler:
         session = InferenceSession(registry, family_graph)
         scheduler = MicroBatchScheduler(session, max_batch_size=64, max_wait_ms=50)
         model = registry.get("rmpi").model
-        model.scoring_stats.reset()
+        before = model.scoring_stats.snapshot()
         futures = [
             scheduler.submit([(0, 0, 1)], "rmpi"),
             scheduler.submit([(2, 1, 0)], None),
@@ -378,7 +383,7 @@ class TestMicroBatchScheduler:
                 future.result(timeout=30)
         assert scheduler.stats.batches == 1
         assert scheduler.stats.dispatches == 1
-        assert model.scoring_stats.batch_calls == 1
+        assert model.scoring_stats.snapshot()["batch_calls"] - before["batch_calls"] == 1
 
     def test_unknown_model_spec_fails_only_that_request(self, family_graph):
         registry = _registry(family_graph)
@@ -530,6 +535,122 @@ class TestMicroBatchScheduler:
         second.result(timeout=30)
         assert session.max_active == 1
         scheduler.stop()
+
+
+class TestMetricsEndpoint:
+    """GET /metrics: the registry snapshot must agree with the ScoringStats
+    shim and the score-cache counters, serial and under scoring workers."""
+
+    @pytest.fixture
+    def obs_registry(self):
+        fresh = MetricsRegistry()
+        previous = set_obs_registry(fresh)
+        try:
+            yield fresh
+        finally:
+            set_obs_registry(previous)
+
+    def _score_and_scrape(self, app, triples):
+        status, _ = app.handle("POST", "/score", {"triples": triples})
+        assert status == 200
+        status, snap = app.handle("GET", "/metrics")
+        assert status == 200
+        return snap
+
+    def test_metrics_match_shim_and_cache_counters(self, family_graph, obs_registry):
+        registry = _registry(family_graph)
+        app = ServingApp(
+            registry,
+            family_graph,
+            ServingConfig(default_model="rmpi", max_wait_ms=1.0),
+        ).start()
+        try:
+            triples = [[0, 0, 1], [2, 1, 0], [1, 2, 2]]
+            snap = self._score_and_scrape(app, triples)
+            stats = registry.get("rmpi").model.scoring_stats
+            ns = stats.namespace
+            assert snap["counters"][f"{ns}.batch_calls"] == stats.batch_calls >= 1
+            assert (
+                snap["counters"][f"{ns}.triples_scored"]
+                == stats.triples_scored
+                == len(triples)
+            )
+            cache = app.session.cache
+            assert snap["counters"]["serve.cache.misses"] == cache.misses == 3
+            assert snap["counters"].get("serve.cache.hits", 0) == cache.hits == 0
+        finally:
+            app.close()
+
+    def test_scrape_reports_every_request_except_itself(
+        self, family_graph, obs_registry
+    ):
+        registry = _registry(family_graph)
+        app = ServingApp(
+            registry,
+            family_graph,
+            ServingConfig(default_model="rmpi", max_wait_ms=1.0),
+        ).start()
+        try:
+            app.handle("GET", "/health")
+            app.handle("POST", "/score", {"triples": [[0, 0, 1]]})
+            _, snap = app.handle("GET", "/metrics")
+            assert snap["counters"]["serve.http.requests"] == 2
+            assert snap["counters"]["serve.http.responses.2xx"] == 2
+            assert snap["histograms"]["span.serve.http.request.ms"]["count"] == 2
+            # The scrape itself lands in the registry after its body is built.
+            _, again = app.handle("GET", "/metrics")
+            assert again["counters"]["serve.http.requests"] == 3
+        finally:
+            app.close()
+
+    def test_cache_hits_surface_on_repeat_scoring(self, family_graph, obs_registry):
+        registry = _registry(family_graph)
+        app = ServingApp(
+            registry,
+            family_graph,
+            ServingConfig(default_model="rmpi", max_wait_ms=1.0),
+        ).start()
+        try:
+            triples = [[0, 0, 1], [2, 1, 0]]
+            self._score_and_scrape(app, triples)
+            snap = self._score_and_scrape(app, triples)
+            cache = app.session.cache
+            assert snap["counters"]["serve.cache.hits"] == cache.hits == 2
+            assert snap["counters"]["serve.cache.misses"] == cache.misses == 2
+        finally:
+            app.close()
+
+    @pytest.mark.parallel
+    @pytest.mark.skipif(not fork_available(), reason="requires fork start method")
+    def test_metrics_match_shim_under_scoring_workers(
+        self, family_graph, obs_registry, max_workers
+    ):
+        if max_workers < 2:
+            pytest.skip("--workers caps the sweep below 2")
+        registry = _registry(family_graph)
+        app = ServingApp(
+            registry,
+            family_graph,
+            ServingConfig(default_model="rmpi", max_wait_ms=1.0, workers=2),
+        ).start()
+        try:
+            assert app.session.scoring_pool is not None
+            # >= workers triples so the session shards across the pool.
+            triples = [[0, 0, 1], [2, 1, 0], [1, 2, 2], [3, 4, 1]]
+            snap = self._score_and_scrape(app, triples)
+            stats = registry.get("rmpi").model.scoring_stats
+            ns = stats.namespace
+            # Models are constructed before the fork, so the per-rank shim
+            # deltas merge back under the parent's namespace.
+            assert (
+                snap["counters"][f"{ns}.triples_scored"]
+                == stats.triples_scored
+                == len(triples)
+            )
+            assert snap["counters"][f"{ns}.batch_calls"] == stats.batch_calls == 2
+            assert snap["counters"]["serve.cache.misses"] == len(triples)
+        finally:
+            app.close()
 
 
 # ----------------------------------------------------------------------
@@ -774,3 +895,20 @@ class TestHTTPServing:
         _, client, _, _ = served
         status, body = client.request("GET", "/health?verbose=1")
         assert status == 200 and body["status"] == "ok"
+
+    def test_metrics_endpoint_round_trip(self, served):
+        server, client, _, bench = served
+        triples = [list(t) for t in list(bench.test_triples)[:2]]
+        assert client.request("POST", "/score", {"triples": triples})[0] == 200
+        status, snap = client.request("GET", "/metrics")
+        assert status == 200
+        # The scrape excludes itself, so only the POST is guaranteed.
+        assert snap["counters"]["serve.http.requests"] >= 1
+        assert "span.serve.http.request.ms" in snap["histograms"]
+        assert snap["counters"]["serve.scheduler.requests"] >= 1
+        # Same data as flat text exposition for curl/grep consumers.
+        with urllib.request.urlopen(server.url + "/metrics?format=text") as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode("utf-8")
+        assert "serve_http_requests_total" in text
+        assert 'span_serve_http_request_ms_bucket{le="+Inf"}' in text
