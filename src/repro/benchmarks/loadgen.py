@@ -23,7 +23,7 @@ import numpy as np
 from repro.benchmarks.timing import timed
 from repro.kg.triples import Triple
 from repro.obs import MetricsRegistry
-from repro.serve.client import ServingClient
+from repro.serve.client import ServingClient, ServingUnavailable
 
 __all__ = ["LoadLevelResult", "LoadSweepResult", "run_load_sweep"]
 
@@ -76,12 +76,21 @@ def _drive_level(
         # Private registry: driver-side clocks stay out of server metrics.
         local = MetricsRegistry()
         barrier.wait()
+        def one_request(triple: Triple):
+            # A connection-level failure (server mid-restart, socket
+            # refused under overload) counts as an error observation,
+            # not a crashed worker thread.
+            try:
+                return client.request(
+                    "POST", "/score", {"triples": [list(triple)]}
+                )
+            except ServingUnavailable as error:
+                return 503, error.body
+
         for i in range(requests_per_client):
             triple = triples[(idx * requests_per_client + i) % len(triples)]
             elapsed, (status, _body) = timed(
-                lambda: client.request(
-                    "POST", "/score", {"triples": [list(triple)]}
-                ),
+                lambda: one_request(triple),
                 name="loadgen.request",
                 registry=local,
             )

@@ -106,6 +106,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="score through the per-sample path instead of the fused batch forward",
     )
     serve.add_argument(
+        "--max-queue-depth", type=int, default=256,
+        help="admission watermark: more waiting requests than this are shed "
+        "with HTTP 503 + Retry-After (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--retry-after-s", type=float, default=1.0,
+        help="backoff hint carried by 503 load-shedding responses",
+    )
+    serve.add_argument(
+        "--request-deadline-s", type=float, default=30.0,
+        help="server-side cap on request lifetime, queue time included; "
+        "expired requests are dropped before scoring (0 = no deadline)",
+    )
+    serve.add_argument(
+        "--fault-plan", default=None,
+        help="activate a fault-injection plan for chaos runs: inline JSON "
+        "or @path to a JSON file (see repro.faults)",
+    )
+    serve.add_argument(
         "--dry-run", action="store_true",
         help="build the app, print its configuration, and exit without serving",
     )
@@ -209,6 +228,10 @@ def cmd_serve(args: argparse.Namespace) -> str:
     registry.register(
         args.model, model, meta={"benchmark": benchmark.name, "weights": weights}
     )
+    if args.fault_plan:
+        from repro.faults import FaultPlan, activate
+
+        activate(FaultPlan.from_cli(args.fault_plan))
     config = ServingConfig(
         host=args.host,
         port=args.port,
@@ -218,6 +241,9 @@ def cmd_serve(args: argparse.Namespace) -> str:
         cache_size=args.cache_size,
         use_fused=not args.no_fused,
         workers=args.workers,
+        max_queue_depth=args.max_queue_depth or None,
+        retry_after_s=args.retry_after_s,
+        request_deadline_s=args.request_deadline_s or None,
     )
     # Serve the inductive benchmark's *testing* graph: queries rank links
     # among entities unseen during training, the paper's core setting.
@@ -235,7 +261,12 @@ def cmd_serve(args: argparse.Namespace) -> str:
         f"  score cache: {config.cache_size} entries, "
         f"fused scoring: {config.use_fused}",
         f"  scoring workers: {config.workers}",
+        f"  admission: max_queue_depth={config.max_queue_depth} "
+        f"retry_after_s={config.retry_after_s} "
+        f"request_deadline_s={config.request_deadline_s}",
     ]
+    if args.fault_plan:
+        lines.append(f"  fault plan ACTIVE: {args.fault_plan}")
     if args.dry_run:
         app.close()
         lines.append("dry run: configuration OK, not serving")

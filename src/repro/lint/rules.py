@@ -586,6 +586,71 @@ class InstrumentationClockRule(Rule):
             yield self.violation(node, ctx, self._message(f"{func.id}()"))
 
 
+# ---------------------------------------------------------------------------
+# RL009 — no silently swallowed exceptions
+# ---------------------------------------------------------------------------
+@register_rule
+class SilentSwallowRule(Rule):
+    """No ``except ...: pass`` (or bare ``except:``) discarding the error.
+
+    The fault-tolerance PR's bug class: a worker pool that swallows a
+    queue error during teardown is tolerable, but the same pattern around
+    dispatch or result collection turns a crashed worker into a silent
+    hang — the failure the chaos suite exists to surface.  Library code
+    under ``src/repro`` must handle, translate, count, or re-raise; a
+    handler that does literally nothing needs an inline suppression whose
+    mandatory reason documents why dropping the error is safe *here*.
+    """
+
+    code = "RL009"
+    name = "no-silent-swallow"
+    summary = (
+        "except clause in src/repro that discards the exception "
+        "(pass-only body or bare except without re-raise)"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    @staticmethod
+    def _is_noop(statement: ast.stmt) -> bool:
+        if isinstance(statement, ast.Pass):
+            return True
+        return (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis
+        )
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(child, ast.Raise)
+            for statement in handler.body
+            for child in ast.walk(statement)
+        )
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterator[Violation]:
+        assert isinstance(node, ast.ExceptHandler)
+        if not ctx.path.startswith("src/repro/"):
+            return
+        if all(self._is_noop(statement) for statement in node.body):
+            yield self.violation(
+                node,
+                ctx,
+                "except clause silently swallows the exception; handle it, "
+                "count it into the metrics registry, or suppress with the "
+                "reason dropping it is safe (RL009 no-silent-swallow)",
+            )
+            return
+        if node.type is None and not self._reraises(node):
+            yield self.violation(
+                node,
+                ctx,
+                "bare except: catches SystemExit/KeyboardInterrupt and hides "
+                "the error type; catch a concrete exception or re-raise "
+                "(RL009 no-silent-swallow)",
+            )
+
+
 # Dict of code -> rule class is assembled by the registry; importing this
 # module is what populates it (see repro.lint.registry.all_rules).
 RULES: Dict[str, Type[Rule]] = {
@@ -599,5 +664,6 @@ RULES: Dict[str, Type[Rule]] = {
         LegacyParityRule,
         GradHygieneRule,
         InstrumentationClockRule,
+        SilentSwallowRule,
     )
 }

@@ -94,13 +94,19 @@ class ParallelEvaluator:
         workers: int = 1,
         pool: Optional[WorkerPool] = None,
         seed: int = 0,
+        task_deadline_s: Optional[float] = None,
+        max_task_retries: int = 2,
     ) -> None:
         self.model = model
         self.graph = graph
         if pool is None:
             graph.warm()  # share the CSR with the children copy-on-write
             pool = WorkerPool(
-                workers, context={"model": model, "graph": graph}, seed=seed
+                workers,
+                context={"model": model, "graph": graph},
+                seed=seed,
+                task_deadline_s=task_deadline_s,
+                max_task_retries=max_task_retries,
             )
             self._owns_pool = True
         else:

@@ -48,6 +48,10 @@ class ShardedPreparer:
     pool:
         An existing :class:`WorkerPool` whose context holds this model and
         graph — lets trainers/evaluators share one set of processes.
+    task_deadline_s / max_task_retries:
+        Fault-tolerance knobs forwarded to the owned pool (ignored when
+        ``pool`` is given): per-shard deadline before the worker is deemed
+        wedged, and how many times a shard lost to a crash is requeued.
     """
 
     def __init__(
@@ -57,6 +61,8 @@ class ShardedPreparer:
         workers: int = 1,
         pool: Optional[WorkerPool] = None,
         seed: int = 0,
+        task_deadline_s: Optional[float] = None,
+        max_task_retries: int = 2,
     ) -> None:
         self.model = model
         self.graph = graph
@@ -66,7 +72,11 @@ class ShardedPreparer:
             # rebuilding it.
             graph.warm()
             pool = WorkerPool(
-                workers, context={"model": model, "graph": graph}, seed=seed
+                workers,
+                context={"model": model, "graph": graph},
+                seed=seed,
+                task_deadline_s=task_deadline_s,
+                max_task_retries=max_task_retries,
             )
             self._owns_pool = True
         else:

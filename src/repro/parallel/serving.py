@@ -14,7 +14,7 @@ seen (see ``known_keys``).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -53,18 +53,24 @@ def scoring_pool(
     workers: int,
     use_fused: bool = True,
     seed: int = 0,
+    task_deadline_s: Optional[float] = None,
+    max_task_retries: int = 2,
 ) -> WorkerPool:
     """Fork a pool around the registry + served graph for session scoring.
 
     Call only after every served model is registered — later registrations
     are invisible to the forked children (the session falls back to serial
-    scoring for those).
+    scoring for those).  ``task_deadline_s``/``max_task_retries`` bound how
+    long one wedged scoring shard can stall a serving batch and how often a
+    crashed rank's shard is requeued before the request fails.
     """
     graph.warm()  # children share the CSR/fingerprint pages copy-on-write
     return WorkerPool(
         workers,
         context={"registry": registry, "graph": graph, "use_fused": use_fused},
         seed=seed,
+        task_deadline_s=task_deadline_s,
+        max_task_retries=max_task_retries,
     )
 
 

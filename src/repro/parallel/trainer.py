@@ -128,6 +128,8 @@ class DataParallelTrainer(Trainer):
                 self.config.parallel.workers,
                 context={"model": self.model, "graph": self.graph},
                 seed=self.config.seed,
+                task_deadline_s=self.config.parallel.task_deadline_s,
+                max_task_retries=self.config.parallel.max_task_retries,
             )
         try:
             return super().fit()

@@ -9,27 +9,44 @@ a :class:`MicroBatchScheduler` coalescing concurrent queries into single
 batched (fused, for RMPI) scoring calls, and a stdlib JSON-over-HTTP
 frontend (:class:`ServingServer`) with a thin :class:`ServingClient`.
 Start one from the command line with ``python -m repro.cli serve``.
+
+Overload and failure are first-class: the scheduler sheds load past a
+queue watermark (:class:`QueueSaturated` → HTTP 503 + ``Retry-After``),
+drops requests whose deadline expired before scoring
+(:class:`DeadlineExceeded` → HTTP 504), fails fast after a terminal stop
+(:class:`SchedulerStopped`), and the client retries idempotent calls with
+capped jittered backoff before giving up with :class:`ServingUnavailable`.
 """
 
 from repro.serve.cache import DEFAULT_SCORE_CACHE_SIZE, ScoreCache
-from repro.serve.client import ServingClient, ServingError
+from repro.serve.client import ServingClient, ServingError, ServingUnavailable
 from repro.serve.registry import ModelRegistry, RegisteredModel
-from repro.serve.scheduler import MicroBatchScheduler, SchedulerStats
+from repro.serve.scheduler import (
+    DeadlineExceeded,
+    MicroBatchScheduler,
+    QueueSaturated,
+    SchedulerStats,
+    SchedulerStopped,
+)
 from repro.serve.server import ServingApp, ServingConfig, ServingServer
 from repro.serve.session import InferenceSession, rank_predictions
 
 __all__ = [
     "ScoreCache",
     "DEFAULT_SCORE_CACHE_SIZE",
+    "DeadlineExceeded",
     "ModelRegistry",
     "RegisteredModel",
     "InferenceSession",
     "rank_predictions",
     "MicroBatchScheduler",
+    "QueueSaturated",
     "SchedulerStats",
+    "SchedulerStopped",
     "ServingApp",
     "ServingConfig",
     "ServingServer",
     "ServingClient",
     "ServingError",
+    "ServingUnavailable",
 ]

@@ -3,16 +3,29 @@
 ``urllib.request`` only — usable from any Python without installing
 anything.  Typed helpers mirror the server's endpoints; :meth:`request`
 exposes the raw ``(status, body)`` pair for smoke checks.
+
+Fault tolerance: connection-level failures surface as the typed
+:class:`ServingUnavailable` (never a raw ``URLError``), and the typed
+helpers retry **idempotent** calls — health/models/stats/score/topk, all
+safe to repeat because scoring is a pure read — on 503s and connection
+failures with capped, jittered exponential backoff.  A 503 carrying the
+server's ``retry_after`` hint bounds the sleep from below at the server's
+request.  The jitter source is a dedicated seeded ``random.Random``, so
+retry schedules are reproducible in tests without touching global RNG
+state.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.kg.triples import Triple
+from repro.obs import get_registry
 
 
 class ServingError(RuntimeError):
@@ -24,12 +37,61 @@ class ServingError(RuntimeError):
         self.body = body
 
 
-class ServingClient:
-    """Client for one serving endpoint, e.g. ``ServingClient("http://127.0.0.1:8080")``."""
+class ServingUnavailable(ServingError):
+    """The server is unreachable or shedding load (connection failure or a
+    503 that outlived the retry budget).  Wraps the underlying
+    ``urllib.error.URLError`` when one exists (``__cause__``)."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self, reason: str, cause: Optional[BaseException] = None
+    ) -> None:
+        super().__init__(503, {"error": reason})
+        self.__cause__ = cause
+
+
+class ServingClient:
+    """Client for one serving endpoint, e.g. ``ServingClient("http://127.0.0.1:8080")``.
+
+    Parameters
+    ----------
+    base_url / timeout:
+        Where to connect and the per-request socket timeout.
+    retries:
+        How many times an idempotent call is retried after a connection
+        failure or 503 before giving up with :class:`ServingUnavailable`
+        (``0`` disables retries).  Non-idempotent raw :meth:`request`
+        calls are never retried.
+    backoff_base_s / backoff_cap_s:
+        Full-jitter exponential backoff: attempt ``n`` sleeps
+        ``uniform(0, min(cap, base * 2**n))``, raised to the server's
+        ``Retry-After`` hint when a 503 carries one.
+    backoff_seed:
+        Seed for the jitter RNG (reproducible retry schedules).
+    """
+
+    #: Routes safe to replay: pure reads (scoring mutates nothing but a
+    #: memoised cache).  POSTs not listed here are never auto-retried.
+    IDEMPOTENT_ROUTES = frozenset(
+        {"/health", "/models", "/stats", "/metrics", "/score", "/topk"}
+    )
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        backoff_seed: int = 0,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self._jitter = random.Random(backoff_seed)
 
     # ------------------------------------------------------------------
     def request(
@@ -39,7 +101,9 @@ class ServingClient:
         payload: Optional[Dict[str, Any]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         """One round-trip; returns ``(status, parsed_json)`` without raising
-        on HTTP errors (smoke checks assert on the raw status)."""
+        on HTTP errors (smoke checks assert on the raw status).  Connection
+        failures raise :class:`ServingUnavailable`; no retries here — this
+        is the single-attempt primitive the retrying helpers build on."""
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
@@ -58,12 +122,56 @@ class ServingClient:
             except ValueError:
                 body = {"error": raw}
             return error.code, body
+        except urllib.error.URLError as error:
+            raise ServingUnavailable(
+                f"{method.upper()} {self.base_url + path} failed: {error.reason}",
+                cause=error,
+            ) from error
+
+    def _backoff_sleep(self, attempt: int, floor_s: float = 0.0) -> None:
+        ceiling = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
+        delay = max(floor_s, self._jitter.uniform(0.0, ceiling))
+        delay = min(delay, self.backoff_cap_s)
+        get_registry().counter("serve.client.backoff_sleeps").inc()
+        time.sleep(delay)
 
     def _call(self, method: str, path: str, payload: Optional[Dict[str, Any]] = None):
-        status, body = self.request(method, path, payload)
-        if status != 200:
+        """Typed-helper core: raise :class:`ServingError` on non-200, with
+        bounded retry + backoff on 503/unreachable for idempotent routes."""
+        retryable = path in self.IDEMPOTENT_ROUTES
+        attempts = self.retries + 1 if retryable else 1
+        last_error: Optional[ServingError] = None
+        for attempt in range(attempts):
+            if attempt > 0:
+                get_registry().counter("serve.client.retries").inc()
+            try:
+                status, body = self.request(method, path, payload)
+            except ServingUnavailable as error:
+                last_error = error
+                if attempt + 1 < attempts:
+                    self._backoff_sleep(attempt)
+                continue
+            if status == 200:
+                return body
+            if status == 503 and retryable:
+                if attempt + 1 < attempts:
+                    hint = body.get("retry_after")
+                    floor = float(hint) if isinstance(hint, (int, float)) else 0.0
+                    self._backoff_sleep(
+                        attempt, floor_s=min(floor, self.backoff_cap_s)
+                    )
+                    continue
+                raise ServingUnavailable(
+                    f"{method.upper()} {path} still shedding load after "
+                    f"{self.retries} retry(ies): {body.get('error')}"
+                )
             raise ServingError(status, body)
-        return body
+        assert last_error is not None  # every exhausted attempt recorded one
+        raise ServingUnavailable(
+            f"{method.upper()} {path} still unavailable after "
+            f"{self.retries} retry(ies): {last_error.body.get('error')}",
+            cause=last_error.__cause__,
+        )
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
@@ -76,11 +184,16 @@ class ServingClient:
         return self._call("GET", "/stats")
 
     def score(
-        self, triples: Sequence[Triple], model: Optional[str] = None
+        self,
+        triples: Sequence[Triple],
+        model: Optional[str] = None,
+        deadline_ms: Optional[int] = None,
     ) -> List[float]:
         payload: Dict[str, Any] = {"triples": [list(t) for t in triples]}
         if model:
             payload["model"] = model
+        if deadline_ms is not None:
+            payload["deadline_ms"] = int(deadline_ms)
         return self._call("POST", "/score", payload)["scores"]
 
     def top_k_tails(

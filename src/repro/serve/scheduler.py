@@ -22,15 +22,52 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.autograd.engine import SCORE_DTYPE
+from repro.faults.plan import FaultInjected, active_plan
 from repro.kg.triples import Triple
 from repro.obs import get_registry, span
 from repro.serve.session import InferenceSession
+
+
+class SchedulerStopped(RuntimeError):
+    """Raised by :meth:`MicroBatchScheduler.submit` once the scheduler is
+    stopped for good — late requests fail fast instead of hanging against a
+    queue nobody drains."""
+
+    def __init__(self, message: str = "scheduler is stopped") -> None:
+        super().__init__(message)
+
+
+class QueueSaturated(RuntimeError):
+    """Admission control rejection: the request queue is at its watermark.
+
+    Carries ``retry_after_s``, the server's backoff hint, which the HTTP
+    layer turns into a 503 with a ``Retry-After`` header."""
+
+    def __init__(self, depth: int, watermark: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"scheduler queue saturated ({depth} waiting >= watermark "
+            f"{watermark}); retry in {retry_after_s:g}s"
+        )
+        self.depth = depth
+        self.watermark = watermark
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline passed before its batch was scored; the
+    scheduler drops such requests *before* spending model time on them."""
+
+
+#: Fault kinds the scheduler's dispatch hook can execute (it runs in the
+#: parent process, so crash/drop faults do not apply here).
+_DISPATCH_KINDS = ("error", "latency")
 
 
 @dataclass
@@ -62,6 +99,8 @@ class SchedulerStats:
 class _Request:
     triples: List[Triple]
     model: Optional[str]
+    #: Absolute ``time.monotonic()`` deadline, or None for no deadline.
+    deadline: Optional[float] = None
     future: "Future[np.ndarray]" = field(default_factory=Future)
 
 
@@ -81,6 +120,12 @@ class MicroBatchScheduler:
     max_wait_ms:
         After a batch's first request, how long to keep the batch open for
         more arrivals before dispatching a partial batch.
+    max_queue_depth:
+        Admission watermark: a submit that would leave more than this many
+        requests waiting is rejected with :class:`QueueSaturated` (the HTTP
+        layer's 503).  ``None`` disables load shedding.
+    retry_after_s:
+        Backoff hint carried by :class:`QueueSaturated` rejections.
     """
 
     def __init__(
@@ -88,15 +133,26 @@ class MicroBatchScheduler:
         session: InferenceSession,
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
+        max_queue_depth: Optional[int] = None,
+        retry_after_s: float = 1.0,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if retry_after_s <= 0:
+            raise ValueError("retry_after_s must be > 0")
         self.session = session
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
+        self.max_queue_depth = max_queue_depth
+        self.retry_after_s = float(retry_after_s)
         self.stats = SchedulerStats()
+        # Batch-dispatch counter: the task_index axis of the fault-plan key
+        # for the "serve.dispatch" consultation point.
+        self._dispatch_index = 0
         self._queue: "queue.Queue" = queue.Queue()
         self._worker: Optional[threading.Thread] = None
         self._retiring: Optional[threading.Thread] = None
@@ -168,7 +224,7 @@ class MicroBatchScheduler:
             if item is _STOP:
                 continue
             if not item.future.cancelled():
-                item.future.set_exception(RuntimeError("scheduler is stopped"))
+                item.future.set_exception(SchedulerStopped())
 
     @property
     def is_running(self) -> bool:
@@ -187,27 +243,46 @@ class MicroBatchScheduler:
 
     # ------------------------------------------------------------------
     def submit(
-        self, triples: Sequence[Triple], model: Optional[str] = None
+        self,
+        triples: Sequence[Triple],
+        model: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> "Future[np.ndarray]":
         """Enqueue a scoring request; the future resolves to the score
         array (order-aligned with ``triples``).  Requests may be submitted
         before :meth:`start` — they coalesce once the worker runs.  After
-        :meth:`close`, submissions raise ``RuntimeError`` until the
-        scheduler is started again (:meth:`stop` alone is a restartable
-        pause and keeps accepting)."""
+        :meth:`close`, submissions raise :class:`SchedulerStopped` until
+        the scheduler is started again (:meth:`stop` alone is a restartable
+        pause and keeps accepting).  With ``max_queue_depth`` set, a submit
+        against a saturated queue is rejected with :class:`QueueSaturated`
+        instead of growing the backlog unboundedly.  ``deadline`` is an
+        absolute ``time.monotonic()`` instant past which the request is
+        dropped (:class:`DeadlineExceeded`) rather than scored."""
         if not self._accepting:
-            raise RuntimeError("scheduler is stopped")
+            raise SchedulerStopped()
+        registry = get_registry()
+        depth = self._queue.qsize()
+        if self.max_queue_depth is not None and depth >= self.max_queue_depth:
+            registry.counter("serve.scheduler.requests_shed").inc()
+            raise QueueSaturated(depth, self.max_queue_depth, self.retry_after_s)
         request = _Request(
             triples=[tuple(int(x) for x in triple) for triple in triples],
             model=model,
+            deadline=deadline,
         )
         if not request.triples:
             request.future.set_result(np.empty(0, dtype=SCORE_DTYPE))
             return request.future
         self._queue.put(request)
-        get_registry().gauge("serve.scheduler.queue_depth").set(
-            self._queue.qsize()
-        )
+        registry.gauge("serve.scheduler.queue_depth").set(self._queue.qsize())
+        if not self._accepting and not self.is_running:
+            # The request raced a concurrent close() past its final drain;
+            # nobody will ever serve it, so fail it (and any fellow
+            # stragglers) fast instead of leaving the future hanging.
+            with self._lock:
+                draining = self._retiring is not None and self._retiring.is_alive()
+            if not draining:
+                self._flush_queue()
         return request.future
 
     def score_sync(
@@ -215,9 +290,31 @@ class MicroBatchScheduler:
         triples: Sequence[Triple],
         model: Optional[str] = None,
         timeout: Optional[float] = 30.0,
+        deadline: Optional[float] = None,
     ) -> np.ndarray:
-        """Submit and wait — the one-call convenience the HTTP handlers use."""
-        return self.submit(triples, model).result(timeout=timeout)
+        """Submit and wait — the one-call convenience the HTTP handlers use.
+
+        With a ``deadline`` the wait is capped at the deadline plus one
+        batch window of grace (the scheduler needs to *pick up* the request
+        to notice it expired); a wait that still times out is surfaced as
+        :class:`DeadlineExceeded` so callers see one deadline error type.
+        """
+        future = self.submit(triples, model, deadline=deadline)
+        wait = timeout
+        if deadline is not None:
+            grace = self.max_wait_ms / 1000.0 + 0.25
+            remaining = max(0.0, deadline - time.monotonic()) + grace
+            wait = remaining if timeout is None else min(timeout, remaining)
+        try:
+            return future.result(timeout=wait)
+        except FutureTimeout:
+            future.cancel()
+            if deadline is not None:
+                get_registry().counter("serve.scheduler.deadline_expired").inc()
+                raise DeadlineExceeded(
+                    "request deadline exceeded while waiting for dispatch"
+                ) from None
+            raise
 
     # ------------------------------------------------------------------
     def _collect_batch(self, first: "_Request") -> List[_Request]:
@@ -250,6 +347,41 @@ class MicroBatchScheduler:
         registry.gauge("serve.scheduler.queue_depth").set(self._queue.qsize())
         self.stats.requests += len(batch)
         registry.counter("serve.scheduler.requests").inc(len(batch))
+        # Deadline check BEFORE any model time is spent: a request whose
+        # deadline passed while it sat in the queue is already a lost cause
+        # for its caller — scoring it would only delay everyone behind it.
+        now = time.monotonic()
+        alive: List[_Request] = []
+        for request in batch:
+            if request.deadline is not None and now >= request.deadline:
+                registry.counter("serve.scheduler.deadline_expired").inc()
+                if not request.future.cancelled():
+                    request.future.set_exception(
+                        DeadlineExceeded(
+                            "request deadline expired before dispatch"
+                        )
+                    )
+                continue
+            alive.append(request)
+        batch = alive
+        if not batch:
+            return
+        # Chaos hook: the "serve.dispatch" consultation point, keyed by the
+        # batch-dispatch index.  Runs in the parent process, so only
+        # error/latency kinds apply.
+        spec = active_plan().take(
+            "serve.dispatch", 0, self._dispatch_index, kinds=_DISPATCH_KINDS
+        )
+        self._dispatch_index += 1
+        if spec is not None:
+            if spec.kind == "latency":
+                time.sleep(spec.latency_s)
+            else:
+                error = FaultInjected(spec.message)
+                for request in batch:
+                    if not request.future.cancelled():
+                        request.future.set_exception(error)
+                return
         # One model call per distinct model in the batch, preserving request
         # order within each group.  Grouping is by the RESOLVED registry key,
         # so equivalent specs ("name", "name@latest-version", default None)

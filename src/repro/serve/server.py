@@ -24,7 +24,9 @@ Endpoints
 from __future__ import annotations
 
 import json
+import math
 import threading
+import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
@@ -34,7 +36,11 @@ from repro.kg.graph import KnowledgeGraph
 from repro.obs import get_registry, render_text, span
 from repro.serve.cache import DEFAULT_SCORE_CACHE_SIZE
 from repro.serve.registry import ModelRegistry
-from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.scheduler import (
+    DeadlineExceeded,
+    MicroBatchScheduler,
+    QueueSaturated,
+)
 from repro.serve.session import InferenceSession, rank_predictions
 
 
@@ -53,6 +59,15 @@ class ServingConfig:
     # Worker-pool scoring backend (repro.parallel): >1 shards each
     # coalesced micro-batch's cache misses across forked scoring workers.
     workers: int = 1
+    # Admission control: more than this many requests waiting → 503 with a
+    # Retry-After of ``retry_after_s``.  None accepts unboundedly.
+    max_queue_depth: Optional[int] = 256
+    retry_after_s: float = 1.0
+    # Server-side cap on how long a scoring request may live, queue time
+    # included; expired requests are dropped before scoring (HTTP 504).
+    # Clients can only tighten it per request (``deadline_ms``), never
+    # extend it.  None disables deadlines.
+    request_deadline_s: Optional[float] = 30.0
 
 
 class BadRequest(ValueError):
@@ -112,6 +127,8 @@ class ServingApp:
             self.session,
             max_batch_size=self.config.max_batch_size,
             max_wait_ms=self.config.max_wait_ms,
+            max_queue_depth=self.config.max_queue_depth,
+            retry_after_s=self.config.retry_after_s,
         )
         if self.config.workers > 1:
             # Fork the scoring workers now, while every model registered so
@@ -143,6 +160,9 @@ class ServingApp:
         summary["scheduler"] = {
             "max_batch_size": self.config.max_batch_size,
             "max_wait_ms": self.config.max_wait_ms,
+            "max_queue_depth": self.config.max_queue_depth,
+            "retry_after_s": self.config.retry_after_s,
+            "request_deadline_s": self.config.request_deadline_s,
             "running": self.scheduler.is_running,
         }
         summary["default_model"] = self.config.default_model
@@ -193,6 +213,13 @@ class ServingApp:
             return 400, {"error": str(error)}
         except NotFound as error:
             return 404, {"error": str(error)}
+        except QueueSaturated as error:
+            # Load shedding: tell the client to back off instead of letting
+            # the backlog (and every in-flight latency) grow without bound.
+            get_registry().counter("serve.http.requests_shed").inc()
+            return 503, {"error": str(error), "retry_after": error.retry_after_s}
+        except DeadlineExceeded as error:
+            return 504, {"error": str(error)}
         except Exception as error:  # noqa: BLE001 — a request must never
             # drop the connection without a response.  Client input is fully
             # validated (BadRequest/NotFound) before dispatch, so anything
@@ -227,12 +254,35 @@ class ServingApp:
                 str(error.args[0]) if error.args else str(error)
             ) from error
 
+    def _deadline(self, payload: Dict[str, Any]) -> Optional[float]:
+        """Absolute monotonic deadline for one scoring request.
+
+        The server's ``request_deadline_s`` is the ceiling; a client
+        ``deadline_ms`` can only tighten it.  The deadline covers the whole
+        scheduler round trip — queue wait included — so a request that
+        expires while queued is dropped before any model time is spent.
+        """
+        budget = self.config.request_deadline_s
+        raw = payload.get("deadline_ms")
+        if raw is not None:
+            requested = _as_int(raw, "deadline_ms") / 1000.0
+            if requested <= 0:
+                raise BadRequest("'deadline_ms' must be > 0")
+            budget = requested if budget is None else min(requested, budget)
+        if budget is None:
+            return None
+        return time.monotonic() + budget
+
     def _score(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         triples = self._validate_triples(_parse_triples(_require(payload, "triples")))
         model = payload.get("model")
+        deadline = self._deadline(payload)
         entry = self._resolve_model(model)  # fail fast on bad specs
         scores = self.scheduler.score_sync(
-            triples, model, timeout=self.config.request_timeout_s
+            triples,
+            model,
+            timeout=self.config.request_timeout_s,
+            deadline=deadline,
         )
         return {"model": entry.key, "scores": [float(s) for s in scores]}
 
@@ -244,6 +294,7 @@ class ServingApp:
             raise BadRequest("provide exactly one of 'head' (rank tails) or 'tail' (rank heads)")
         k = _as_int(payload.get("k", 10), "k")
         model = payload.get("model")
+        deadline = self._deadline(payload)
         exclude_known = bool(payload.get("exclude_known", True))
         candidates = payload.get("candidates")
         graph = self.session.graph
@@ -286,7 +337,10 @@ class ServingApp:
                 "predictions": [],
             }
         scores = self.scheduler.score_sync(
-            triples, model, timeout=self.config.request_timeout_s
+            triples,
+            model,
+            timeout=self.config.request_timeout_s,
+            deadline=deadline,
         )
         predictions = rank_predictions(triples, scores, k, side=side)
         return {
@@ -321,6 +375,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(encoded)))
+        if status == 503 and isinstance(body.get("retry_after"), (int, float)):
+            # RFC 9110 Retry-After is integral seconds; round up so a
+            # compliant client never comes back before the hint.
+            self.send_header("Retry-After", str(math.ceil(body["retry_after"])))
         self.end_headers()
         self.wfile.write(encoded)
 

@@ -7,6 +7,13 @@ a scored query, a top-k query, and a ``/metrics`` scrape through the thin
 client — asserting HTTP 200, well-formed JSON, and that the request
 histogram and cache counters made it into the registry.  Exit code 0 on
 success.
+
+``--chaos`` instead boots a server with a tiny admission watermark and an
+injected dispatch-latency fault plan, drives it with the concurrent load
+generator, and asserts the overload story end to end: nonzero
+``serve.scheduler.requests_shed`` in ``/metrics``, 503s observed by the
+clients, and a clean 200 once the chaos plan is exhausted (the CI chaos
+step).
 """
 
 from __future__ import annotations
@@ -24,7 +31,80 @@ from repro.serve.server import ServingApp, ServingConfig, ServingServer
 from repro.utils.seeding import seeded_rng
 
 
+def chaos_main() -> int:
+    """The ``--chaos`` mode: saturate a tiny-watermark server and assert it
+    sheds (503 + ``Retry-After``) and recovers instead of queueing forever."""
+    from repro.benchmarks.loadgen import run_load_sweep
+    from repro.faults import FaultPlan, FaultSpec, inject
+
+    benchmark = build_partial_benchmark("NELL-995", 1, scale=0.05, seed=0)
+    registry = ModelRegistry()
+    registry.register(
+        "RMPI-base",
+        RMPI(benchmark.num_relations, seeded_rng(0), RMPIConfig(embed_dim=16)),
+        meta={"benchmark": benchmark.name},
+    )
+    app = ServingApp(
+        registry,
+        benchmark.test_graph,
+        ServingConfig(
+            port=0,
+            default_model="RMPI-base",
+            max_wait_ms=1.0,
+            max_queue_depth=2,  # tiny watermark: overload must shed, not queue
+            retry_after_s=0.2,
+            request_deadline_s=10.0,
+        ),
+    )
+    test_triples = list(benchmark.test_triples)[:8]
+    # Every dispatch sleeps a little, so closed-loop clients outrun the
+    # scheduler and pile onto the 2-deep queue — deterministic saturation.
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                op="serve.dispatch", kind="latency", latency_s=0.05, times=10_000
+            )
+        ]
+    )
+    with ServingServer(app) as server, inject(plan):
+        sweep = run_load_sweep(
+            server.url,
+            test_triples,
+            client_levels=(8,),
+            requests_per_client=25,
+            timeout=10.0,
+        )
+        level = sweep.levels[0]
+        assert level.errors > 0, (
+            f"expected shed requests under saturation, got {level.as_dict()}"
+        )
+        client = ServingClient(server.url, retries=0)
+        status, snap = client.request("GET", "/metrics")
+        assert status == 200, f"/metrics returned {status}: {snap}"
+        counters = snap.get("counters", {})
+        shed = counters.get("serve.scheduler.requests_shed", 0)
+        assert shed > 0, f"no serve.scheduler.requests_shed in {counters}"
+        assert counters.get("faults.injected.latency", 0) > 0, counters
+    # Past the chaos scope: the next request must succeed — shedding is
+    # backpressure, not an outage.
+    with ServingServer(app) as server:
+        client = ServingClient(server.url)
+        status, body = client.request(
+            "POST", "/score", {"triples": [list(test_triples[0])]}
+        )
+        assert status == 200, f"post-chaos /score returned {status}: {body}"
+        print(
+            f"chaos smoke OK at {server.url}: {int(shed)} shed "
+            f"({level.errors} client-observed errors, "
+            f"{level.requests} served) and recovered"
+        )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--chaos" in args:
+        return chaos_main()
     benchmark = build_partial_benchmark("NELL-995", 1, scale=0.05, seed=0)
     registry = ModelRegistry()
     registry.register(

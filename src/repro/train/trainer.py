@@ -41,6 +41,12 @@ class ParallelConfig:
 
     workers: int = 1
     eval_workers: Optional[int] = None  # None = same as ``workers``
+    # Fault-tolerance knobs forwarded to the worker pool: how long one
+    # task (batch shard / query shard) may run before its worker is deemed
+    # wedged and recycled, and how many times a task lost to a worker
+    # crash or an expired deadline is requeued before the run fails.
+    task_deadline_s: Optional[float] = None
+    max_task_retries: int = 2
 
     def resolved_eval_workers(self) -> int:
         return self.workers if self.eval_workers is None else self.eval_workers

@@ -657,6 +657,104 @@ def test_unknown_rule_code_raises(tmp_path):
         run_lint([SOURCE_WITH_TWO_RULES], tmp_path, select=("RL999",))
 
 
+# ---------------------------------------------------------------------------
+# RL009 — no silently swallowed exceptions
+# ---------------------------------------------------------------------------
+def test_rl009_flags_pass_only_except(tmp_path):
+    violations = run_lint(
+        [(
+            "src/repro/worker.py",
+            """
+            def collect(queue):
+                try:
+                    return queue.get_nowait()
+                except KeyError:
+                    pass
+            """,
+        )],
+        tmp_path,
+        select=("RL009",),
+    )
+    assert codes(violations) == ["RL009"]
+
+
+def test_rl009_flags_ellipsis_body_and_bare_except(tmp_path):
+    violations = run_lint(
+        [(
+            "src/repro/worker.py",
+            """
+            def collect(queue):
+                try:
+                    return queue.get_nowait()
+                except ValueError:
+                    ...
+                except:
+                    log = 1
+            """,
+        )],
+        tmp_path,
+        select=("RL009",),
+    )
+    assert codes(violations) == ["RL009", "RL009"]
+
+
+def test_rl009_allows_handled_translated_or_reraised(tmp_path):
+    violations = run_lint(
+        [(
+            "src/repro/worker.py",
+            """
+            def collect(queue):
+                try:
+                    return queue.get_nowait()
+                except KeyError as error:
+                    raise RuntimeError("empty") from error
+                except ValueError:
+                    return None
+                except:
+                    raise
+            """,
+        )],
+        tmp_path,
+        select=("RL009",),
+    )
+    assert violations == []
+
+
+def test_rl009_suppression_needs_a_reason(tmp_path):
+    source = """
+    def close(queue):
+        try:
+            queue.close()
+        except OSError:  # repro-lint: disable=RL009 teardown race, pipe may be gone
+            pass
+    """
+    violations = run_lint(
+        [("src/repro/worker.py", source)], tmp_path, select=("RL009",)
+    )
+    assert violations == []
+
+
+def test_rl009_is_scoped_to_library_code(tmp_path):
+    noisy = """
+    def probe(thing):
+        try:
+            return thing()
+        except Exception:
+            pass
+    """
+    in_tests = run_lint(
+        [("tests/test_probe.py", noisy)], tmp_path, select=("RL009",)
+    )
+    in_bench = run_lint(
+        [("benchmarks/bench_probe.py", noisy)], tmp_path, select=("RL009",)
+    )
+    in_src = run_lint(
+        [("src/repro/probe.py", noisy)], tmp_path, select=("RL009",)
+    )
+    assert in_tests == [] and in_bench == []
+    assert codes(in_src) == ["RL009"]
+
+
 def test_per_path_ignores_scope_rules_to_prefix(tmp_path):
     config_kwargs = {
         "per_path_ignores": (("tests/", ("RL001", "RL004")),),
@@ -678,10 +776,10 @@ def test_per_path_ignores_scope_rules_to_prefix(tmp_path):
     assert codes(in_src) == ["RL001", "RL004"]
 
 
-def test_registry_has_all_eight_project_rules():
+def test_registry_has_all_nine_project_rules():
     rules = all_rules()
-    assert set(rules) >= {f"RL00{i}" for i in range(1, 9)}
-    assert len(resolve_rules((), ())) >= 8
+    assert set(rules) >= {f"RL00{i}" for i in range(1, 10)}
+    assert len(resolve_rules((), ())) >= 9
 
 
 def test_fallback_config_matches_pyproject_section():
