@@ -61,19 +61,25 @@ class MetricSpec:
     """How one metric is judged against a baseline.
 
     direction:
-        ``"lower"`` (latencies) or ``"higher"`` (throughputs, accuracy).
+        ``"lower"`` (latencies), ``"higher"`` (throughputs, accuracy), or
+        ``"fact"`` for environment facts (worker counts, batch sizes):
+        facts are reported with their delta but are *never* a regression —
+        a run on half the workers is a different experiment, not a slower
+        one.
     threshold_pct:
         How many percent *worse* than baseline the metric may drift before
         it is flagged as a regression.  ``None`` disables the gate for
-        purely informational metrics (counts, workload sizes).
+        purely informational metrics; ignored for ``"fact"``.
     """
 
     direction: str = "lower"
     threshold_pct: Optional[float] = DEFAULT_THRESHOLD_PCT
 
     def __post_init__(self) -> None:
-        if self.direction not in ("lower", "higher"):
-            raise ValueError(f"direction must be lower|higher, got {self.direction!r}")
+        if self.direction not in ("lower", "higher", "fact"):
+            raise ValueError(
+                f"direction must be lower|higher|fact, got {self.direction!r}"
+            )
 
 
 def env_fingerprint() -> Dict[str, Any]:
@@ -122,6 +128,22 @@ def baseline_metrics(record: Mapping[str, Any]) -> Dict[str, float]:
     return flatten_metrics(record)
 
 
+def baseline_identity(record: Mapping[str, Any]) -> Dict[str, Any]:
+    """Identity fields of a baseline record, old format or new.
+
+    Legacy (pre-schema) records carry no identity fields at all; report
+    them as version 0 at rev ``"pre-runner"`` instead of leaking nulls
+    into the new record's ``baseline`` block.
+    """
+    if record.get("schema"):
+        return {
+            "version": int(record.get("version") or 0),
+            "git_rev": record.get("git_rev") or "unknown",
+            "smoke": record.get("smoke"),
+        }
+    return {"version": 0, "git_rev": "pre-runner", "smoke": None}
+
+
 def compute_deltas(
     current: Mapping[str, float],
     baseline: Mapping[str, float],
@@ -141,10 +163,16 @@ def compute_deltas(
         base = float(baseline[name])
         cur = float(current[name])
         delta_pct = ((cur - base) / abs(base) * 100.0) if base else 0.0
-        worse_pct = delta_pct if spec.direction == "lower" else -delta_pct
-        regression = (
-            spec.threshold_pct is not None and worse_pct > spec.threshold_pct
-        )
+        if spec.direction == "fact":
+            # Environment facts (worker counts, batch sizes) have no good
+            # direction: a change means a different experiment, never a
+            # regression.
+            regression = False
+        else:
+            worse_pct = delta_pct if spec.direction == "lower" else -delta_pct
+            regression = (
+                spec.threshold_pct is not None and worse_pct > spec.threshold_pct
+            )
         deltas[name] = {
             "baseline": base,
             "current": cur,
@@ -176,10 +204,11 @@ def build_record(
     rev: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Assemble one versioned record, with deltas when a baseline exists."""
+    identity = baseline_identity(baseline) if baseline else None
     record: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "workload": workload,
-        "version": int(baseline.get("version", 0)) + 1 if baseline else 1,
+        "version": identity["version"] + 1 if identity else 1,
         "timestamp": timestamp,
         "git_rev": rev if rev is not None else git_rev(),
         "smoke": bool(smoke),
@@ -187,12 +216,12 @@ def build_record(
         "workload_info": dict(workload_info or {}),
         "metrics": {name: float(value) for name, value in sorted(metrics.items())},
     }
-    if baseline:
+    if baseline and identity:
         deltas = compute_deltas(record["metrics"], baseline_metrics(baseline), specs)
         record["baseline"] = {
-            "version": baseline.get("version"),
-            "git_rev": baseline.get("git_rev"),
-            "smoke": baseline.get("smoke"),
+            "version": identity["version"],
+            "git_rev": identity["git_rev"],
+            "smoke": identity["smoke"],
             "deltas": deltas,
             "regressions": sorted(
                 name for name, delta in deltas.items() if delta["regression"]
@@ -231,10 +260,15 @@ def render_report(record: Mapping[str, Any]) -> str:
             lines.append(f"  {name:<32} {value:>12.6g}  (new metric)")
             continue
         marker = "  REGRESSION" if delta["regression"] else ""
+        tag = (
+            "environment fact"
+            if delta["direction"] == "fact"
+            else f"{delta['direction']} is better"
+        )
         lines.append(
             f"  {name:<32} {value:>12.6g}  "
             f"{delta['delta_pct']:+7.1f}% vs {delta['baseline']:.6g}"
-            f" [{delta['direction']} is better]{marker}"
+            f" [{tag}]{marker}"
         )
     if baseline["regressions"]:
         lines.append(f"  regressions: {', '.join(baseline['regressions'])}")

@@ -54,6 +54,13 @@ def _add_training(parser: argparse.ArgumentParser) -> None:
         help="worker processes for training batches and eval ranking "
         "(1 = serial; see README 'Parallel execution')",
     )
+    parser.add_argument(
+        "--parallel-backend", default="auto", choices=["auto", "pickle", "shm"],
+        help="parameter transport for data-parallel training: pickle ships "
+        "the state dict in every payload, shm publishes weights to a "
+        "shared-memory segment (zero-copy broadcast, bitwise-identical "
+        "results); auto reads REPRO_PARALLEL_BACKEND (default pickle)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -163,7 +170,9 @@ def cmd_run(args: argparse.Namespace) -> str:
             epochs=args.epochs,
             seed=args.seed,
             max_triples_per_epoch=args.max_triples,
-            parallel=ParallelConfig(workers=args.workers),
+            parallel=ParallelConfig(
+                workers=args.workers, backend=args.parallel_backend
+            ),
         ),
         seed=args.seed,
         use_schema=args.schema,
@@ -186,7 +195,9 @@ def cmd_full(args: argparse.Namespace) -> str:
             epochs=args.epochs,
             seed=args.seed,
             max_triples_per_epoch=args.max_triples,
-            parallel=ParallelConfig(workers=args.workers),
+            parallel=ParallelConfig(
+                workers=args.workers, backend=args.parallel_backend
+            ),
         ),
         seed=args.seed,
         use_schema=args.schema,

@@ -20,6 +20,12 @@ code path.  Determinism: per-rank RNG streams are pinned from
 ``(seed, rank)`` via :mod:`repro.utils.seeding`; shard placement is
 deterministic (shard k → rank k), so identical runs produce identical
 results.
+
+Parameter transport for training is a two-backend switch (see
+:mod:`repro.parallel.shm`): the default ``"pickle"`` backend broadcasts
+the state dict inside every payload, while ``"shm"`` publishes weights to
+a shared-memory segment and stamps payloads with a tiny param version —
+zero-copy broadcast with bitwise-identical checkpoints.
 """
 
 from repro.parallel.evaluation import (
@@ -36,27 +42,53 @@ from repro.parallel.pool import (
 )
 from repro.parallel.prepare import ShardedPreparer
 from repro.parallel.serving import known_keys, score_batch_sharded, scoring_pool
-from repro.parallel.sharding import merge_shards, shard_list, shard_sizes
+from repro.parallel.sharding import (
+    merge_shards,
+    pack_triples,
+    shard_list,
+    shard_sizes,
+    unpack_triples,
+)
+from repro.parallel.shm import (
+    BACKEND_ENV_VAR,
+    SharedArrayBlock,
+    SharedGraphCSR,
+    SharedParamStore,
+    StaleParamsError,
+    resolve_backend,
+    segment_backend,
+    shm_available,
+)
 from repro.parallel.trainer import DataParallelTrainer, reduce_gradients
 from repro.train.trainer import ParallelConfig
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "DataParallelTrainer",
     "ParallelConfig",
     "ParallelEvaluator",
+    "SharedArrayBlock",
+    "SharedGraphCSR",
+    "SharedParamStore",
     "ShardedPreparer",
+    "StaleParamsError",
     "WorkerError",
     "WorkerPool",
     "fork_available",
     "known_keys",
     "merge_shards",
+    "pack_triples",
     "reduce_gradients",
     "register_op",
+    "resolve_backend",
     "score_batch_sharded",
     "score_query_lists",
     "score_triples_sharded",
     "scoring_pool",
+    "segment_backend",
     "shard_list",
     "shard_sizes",
+    "shm_available",
+    "unpack_triples",
     "usable_cpus",
 ]

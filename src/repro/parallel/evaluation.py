@@ -29,17 +29,31 @@ from repro.core.base import SubgraphScoringModel
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
 from repro.parallel.pool import WorkerPool, register_op
-from repro.parallel.sharding import merge_shards, shard_list
+from repro.parallel.sharding import (
+    merge_shards,
+    pack_query_lists,
+    shard_list,
+    unpack_query_lists,
+)
 
 
 @register_op("score_queries")
-def _score_queries_op(
-    state: Dict[str, Any], query_lists: List[List[Triple]]
-) -> List[np.ndarray]:
+def _score_queries_op(state: Dict[str, Any], payload: Any) -> List[np.ndarray]:
     """Worker side: score each candidate list with the serial protocol's
     own entry point (``score_triples``) under the same uniform ``no_grad``
     guard — covers generic rule/embedding scorers that do not self-guard
-    the way :class:`SubgraphScoringModel` does."""
+    the way :class:`SubgraphScoringModel` does.
+
+    The shard arrives packed as ``{"triples": (n, 3) array, "lengths":
+    per-query lengths}`` (slim transport); a legacy list-of-lists payload
+    is still accepted."""
+    if isinstance(payload, dict):
+        query_lists = unpack_query_lists(payload["triples"], payload["lengths"])
+    else:
+        query_lists = [
+            [tuple(int(x) for x in triple) for triple in queries]
+            for queries in payload
+        ]
     model: SubgraphScoringModel = state["context"]["model"]
     graph: KnowledgeGraph = state["context"]["graph"]
     with no_grad():
@@ -56,8 +70,11 @@ def score_query_lists(
     query_lists = list(query_lists)
     if not query_lists:
         return []
-    shards = shard_list(query_lists, pool.workers)
-    return merge_shards(pool.run("score_queries", shards))
+    payloads = []
+    for shard in shard_list(query_lists, pool.workers):
+        flat, lengths = pack_query_lists(shard)
+        payloads.append({"triples": flat, "lengths": lengths})
+    return merge_shards(pool.run("score_queries", payloads))
 
 
 def score_triples_sharded(
@@ -71,8 +88,11 @@ def score_triples_sharded(
     triples = list(triples)
     if not triples:
         return np.empty(0, dtype=SCORE_DTYPE)
-    shards = [[shard] for shard in shard_list(triples, pool.workers)]
-    per_shard = merge_shards(pool.run("score_queries", shards))
+    payloads = []
+    for shard in shard_list(triples, pool.workers):
+        flat, lengths = pack_query_lists([shard])
+        payloads.append({"triples": flat, "lengths": lengths})
+    per_shard = merge_shards(pool.run("score_queries", payloads))
     return np.concatenate(
         [np.asarray(scores, dtype=SCORE_DTYPE).reshape(-1) for scores in per_shard]
     )

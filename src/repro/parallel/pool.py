@@ -84,6 +84,12 @@ from repro.utils.seeding import worker_rng
 #: :meth:`WorkerPool._spawn` for the duration of the fork.
 _FORK_CONTEXT: Optional[Dict[str, Any]] = None
 
+#: Serialises every write/fork cycle on :data:`_FORK_CONTEXT`.  Two pools
+#: in one process — a serving scoring pool plus a ParallelEvaluator, or a
+#: supervisor respawn racing another pool's start — would otherwise race
+#: on the module global and could fork a child with the *wrong* context.
+_FORK_LOCK = threading.Lock()
+
 #: Registered operations: name -> fn(state, payload).
 _OPS: Dict[str, Callable[[Dict[str, Any], Any], Any]] = {}
 
@@ -236,6 +242,14 @@ class WorkerPool:
     close_timeout_s:
         Grace period :meth:`close` gives each worker to exit on its own
         before escalating terminate → kill.
+    resources:
+        Objects with a ``close()`` the pool owns — shared-memory segments
+        (:class:`repro.parallel.shm.SharedParamStore` /
+        :class:`~repro.parallel.shm.SharedGraphCSR`) whose lifetime must
+        cover every (re)spawned worker.  Closed after the workers during
+        :meth:`close`, never before: a respawned rank remaps the same
+        segments by fork inheritance, which is what keeps post-crash
+        re-runs bitwise identical.
     """
 
     def __init__(
@@ -246,6 +260,7 @@ class WorkerPool:
         task_deadline_s: Optional[float] = None,
         max_task_retries: int = 2,
         close_timeout_s: float = 5.0,
+        resources: Sequence[Any] = (),
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -257,6 +272,7 @@ class WorkerPool:
         self.task_deadline_s = task_deadline_s
         self.max_task_retries = int(max_task_retries)
         self.close_timeout_s = float(close_timeout_s)
+        self._resources = list(resources)
         self._inline = self.workers == 1 or not fork_available()
         self._processes: List[multiprocessing.Process] = []
         self._task_queues: List[Any] = []
@@ -302,17 +318,21 @@ class WorkerPool:
         if old is not None:
             old.join(timeout=0.2)  # reap the zombie; it is already dead
         tasks = ctx.SimpleQueue()
-        _FORK_CONTEXT = self.context
-        try:
-            process = ctx.Process(
-                target=_worker_main,
-                args=(rank, self.seed, tasks, self._results),
-                name=f"repro-parallel-{rank}",
-                daemon=True,
-            )
-            process.start()
-        finally:
-            _FORK_CONTEXT = None
+        # The whole write → fork → clear cycle holds the module lock: a
+        # concurrent _spawn from another pool (or a supervisor respawn)
+        # must not overwrite the context between our write and our fork.
+        with _FORK_LOCK:
+            _FORK_CONTEXT = self.context
+            try:
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(rank, self.seed, tasks, self._results),
+                    name=f"repro-parallel-{rank}",
+                    daemon=True,
+                )
+                process.start()
+            finally:
+                _FORK_CONTEXT = None
         self._task_queues[rank] = tasks
         self._processes[rank] = process
 
@@ -351,7 +371,10 @@ class WorkerPool:
 
     def _run_inline(self, op: str, payloads: List[Any]) -> List[Any]:
         plan = active_plan()
-        state = {"context": self.context, "rank": 0, "rng": None}
+        # ``inline`` tells ops they run in the parent on the authoritative
+        # objects — e.g. the shm train step must not rebind the parent
+        # model's parameters to read-only shared views.
+        state = {"context": self.context, "rank": 0, "rng": None, "inline": True}
         results: List[Any] = []
         for payload in payloads:
             spec = plan.take(op, 0, self._next_index(op, 0), kinds=_INLINE_KINDS)
@@ -597,6 +620,11 @@ class WorkerPool:
             self._results.close()
         self._processes = []
         self._task_queues = []
+        # Shared-memory segments go last: every worker that could have
+        # mapped them is down, so unlinking cannot strand a respawn.
+        for resource in self._resources:
+            resource.close()
+        self._resources = []
 
     def __enter__(self) -> "WorkerPool":
         return self

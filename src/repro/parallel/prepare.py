@@ -21,12 +21,21 @@ from repro.core.base import SubgraphScoringModel
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
 from repro.parallel.pool import WorkerPool, register_op
-from repro.parallel.sharding import merge_shards, shard_list
+from repro.parallel.sharding import (
+    merge_shards,
+    pack_triples,
+    shard_list,
+    unpack_triples,
+)
 
 
 @register_op("prepare")
-def _prepare_op(state: Dict[str, Any], triples: List[Triple]) -> List[Any]:
-    """Worker side: the model's own batched prepare on this rank's shard."""
+def _prepare_op(state: Dict[str, Any], payload: Any) -> List[Any]:
+    """Worker side: the model's own batched prepare on this rank's shard.
+
+    The shard arrives as a packed ``(n, 3)`` int64 array (slim transport);
+    legacy list-of-tuples payloads are still accepted."""
+    triples: List[Triple] = unpack_triples(payload)
     if not triples:
         return []
     model: SubgraphScoringModel = state["context"]["model"]
@@ -107,7 +116,9 @@ class ShardedPreparer:
         if not triples:
             return []
         shards = shard_list(triples, self.pool.workers)
-        samples = merge_shards(self.pool.run("prepare", shards))
+        samples = merge_shards(
+            self.pool.run("prepare", [pack_triples(shard) for shard in shards])
+        )
         if populate_cache:
             self.model.install_samples(graph, triples, samples)
         return samples

@@ -23,14 +23,17 @@ from repro.autograd.engine import SCORE_DTYPE
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.triples import Triple
 from repro.parallel.pool import WorkerPool, register_op
-from repro.parallel.sharding import shard_list
+from repro.parallel.sharding import pack_triples, shard_list, unpack_triples
 
 
 @register_op("serve_score")
 def _serve_score_op(state: Dict[str, Any], payload: Dict[str, Any]) -> np.ndarray:
     """Worker side: resolve the model from the inherited registry and score
-    this rank's shard through the session's scoring semantics."""
-    triples: List[Triple] = payload["triples"]
+    this rank's shard through the session's scoring semantics.
+
+    Shard triples arrive packed as a ``(n, 3)`` int64 array (slim
+    transport); legacy list payloads are still accepted."""
+    triples: List[Triple] = unpack_triples(payload["triples"])
     if not triples:
         return np.empty(0, dtype=SCORE_DTYPE)
     context = state["context"]
@@ -87,7 +90,7 @@ def score_batch_sharded(
     if not triples:
         return np.empty(0, dtype=SCORE_DTYPE)
     payloads = [
-        {"model": model_key, "triples": shard}
+        {"model": model_key, "triples": pack_triples(shard)}
         for shard in shard_list(triples, pool.workers)
     ]
     parts = pool.run("serve_score", payloads)

@@ -6,13 +6,64 @@ extra item).  Contiguity matters twice: merged results are a plain
 concatenation (input order preserved with no index bookkeeping), and the
 serial reference path processes items in exactly this order, which is what
 makes shard-by-shard outputs directly comparable in the parity suite.
+
+The module also owns the slim triple transport used by every op payload:
+triples cross the queue as one ``(n, 3)`` int64 array (and query lists as
+one flat array plus a length vector) instead of pickled tuple lists —
+pickling a contiguous array is one buffer copy, not ``n`` tuple records.
+Unpacking tolerates the legacy list form so hand-built payloads keep
+working.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, TypeVar
+from typing import Any, List, Sequence, Tuple, TypeVar
+
+import numpy as np
 
 T = TypeVar("T")
+
+IntTriple = Tuple[int, int, int]
+
+
+def pack_triples(triples: Sequence[IntTriple]) -> np.ndarray:
+    """Payload-slimmed triple transport: one ``(n, 3)`` int64 array
+    instead of a pickled list of tuples."""
+    if not len(triples):
+        return np.empty((0, 3), dtype=np.int64)
+    return np.asarray(list(triples), dtype=np.int64).reshape(-1, 3)
+
+
+def unpack_triples(rows: Any) -> List[IntTriple]:
+    """Inverse of :func:`pack_triples`; also accepts an already-unpacked
+    triple sequence so hand-built (legacy) payloads keep working."""
+    if isinstance(rows, np.ndarray):
+        return [(int(h), int(r), int(t)) for h, r, t in rows.tolist()]
+    return [(int(h), int(r), int(t)) for h, r, t in rows]
+
+
+def pack_query_lists(
+    query_lists: Sequence[Sequence[IntTriple]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten candidate lists into ``(flat_triples, lengths)`` arrays."""
+    lengths = np.asarray([len(queries) for queries in query_lists], dtype=np.int64)
+    flat: List[IntTriple] = []
+    for queries in query_lists:
+        flat.extend(queries)
+    return pack_triples(flat), lengths
+
+
+def unpack_query_lists(
+    flat: Any, lengths: Any
+) -> List[List[IntTriple]]:
+    """Inverse of :func:`pack_query_lists` (order and grouping preserved)."""
+    triples = unpack_triples(flat)
+    query_lists: List[List[IntTriple]] = []
+    start = 0
+    for length in np.asarray(lengths, dtype=np.int64).tolist():
+        query_lists.append(triples[start : start + length])
+        start += length
+    return query_lists
 
 
 def shard_sizes(num_items: int, num_shards: int) -> List[int]:

@@ -1,0 +1,437 @@
+"""Zero-copy transport for the parallel layer: shared-memory segments.
+
+The pickle backend ships the full parameter set inside every worker
+payload on every batch — ``BENCH_parallel.json`` recorded that broadcast
+overhead erasing the fork win on small workloads.  This module moves the
+bulk arrays out of the payloads entirely:
+
+* **parameters** live in one shared segment (:class:`SharedParamStore`);
+  the parent publishes the current weights in place (one memcpy, no
+  pickling) and stamps each dispatch with a small **param version** —
+  workers bind their model's ``param.data`` to read-only views of the
+  segment once, check the stamp at dispatch, and then read the current
+  weights zero-copy forever after;
+* **gradients** fan back through preallocated per-rank shared buffers:
+  a worker copies its shard's gradients into its own rank's buffer and
+  returns only ``(loss, pair count, present-gradient names)``; the
+  parent runs the pair-count-weighted reduction directly over views;
+* **graph CSR adjacency** can be re-homed into a segment
+  (:class:`SharedGraphCSR`) so the index pages are genuinely shared
+  rather than fork-inherited copy-on-write pages that a stray write
+  could silently duplicate.
+
+Two segment flavours hide behind one interface:
+``multiprocessing.shared_memory`` where available, and an mmap-backed
+temporary file everywhere else (``mmap.mmap`` on a real file defaults to
+``MAP_SHARED``, so forked children see parent writes either way).
+
+Backend selection for the trainer is a three-valued switch:
+``ParallelConfig.backend`` is ``"auto" | "pickle" | "shm"``, where
+``"auto"`` (the default) consults the ``REPRO_PARALLEL_BACKEND``
+environment variable and falls back to ``"pickle"`` — the bit-for-bit
+compatibility path.  The parity suite proves the two backends produce
+bitwise-identical checkpoints, so flipping the env flag is safe anywhere.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import tempfile
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "SharedArrayBlock",
+    "SharedGraphCSR",
+    "SharedParamStore",
+    "StaleParamsError",
+    "resolve_backend",
+    "segment_backend",
+    "shm_available",
+]
+
+#: Environment switch consulted by ``resolve_backend("auto")``.
+BACKEND_ENV_VAR = "REPRO_PARALLEL_BACKEND"
+
+#: Slot alignment inside a segment (cache-line sized).
+_ALIGN = 64
+
+#: Header: 8 int64 slots at the start of a block; slot 0 is the version.
+_HEADER_BYTES = 64
+
+
+class StaleParamsError(RuntimeError):
+    """A worker's shared parameter segment does not hold the version the
+    dispatch was stamped with — the zero-copy invariant is broken."""
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+def shm_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` is importable here."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - stdlib module on 3.8+
+        return False
+    return True
+
+
+def segment_backend() -> str:
+    """The segment flavour allocations will use: ``"shm"`` or ``"memmap"``."""
+    return "shm" if shm_available() else "memmap"
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolve a trainer backend setting to ``"pickle"`` or ``"shm"``.
+
+    ``"auto"`` (and ``None``) read :data:`BACKEND_ENV_VAR`, defaulting to
+    ``"pickle"`` — the compatibility path stays the default until a
+    deployment opts in, and one env flag flips a whole test run.
+    """
+    value = (backend or "auto").strip().lower()
+    if value == "auto":
+        value = os.environ.get(BACKEND_ENV_VAR, "").strip().lower() or "pickle"
+    if value not in ("pickle", "shm"):
+        raise ValueError(
+            f"parallel backend must be auto|pickle|shm, got {backend!r}"
+            + (f" (via ${BACKEND_ENV_VAR})" if backend in (None, "auto") else "")
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Segments
+# ----------------------------------------------------------------------
+#: Segments whose unmap failed because live numpy views still pin the
+#: buffer.  Parking them here keeps ``SharedMemory.__del__`` from retrying
+#: the close at GC time (which would print "Exception ignored" noise); the
+#: segment is already unlinked, so the kernel frees it at process exit.
+_PINNED_SEGMENTS: List[Any] = []
+
+
+class _ShmSegment:
+    """A ``multiprocessing.shared_memory`` block."""
+
+    kind = "shm"
+
+    def __init__(self, nbytes: int) -> None:
+        from multiprocessing import shared_memory
+
+        self._shm = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        self.buf = self._shm.buf
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except BufferError:  # repro-lint: disable=RL009 numpy views handed out earlier may still pin the exported buffer; park the mapping for process lifetime, the unlink still frees the segment name
+            _PINNED_SEGMENTS.append(self._shm)
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # repro-lint: disable=RL009 already unlinked (e.g. both the pool and the owning trainer released the store); nothing left to free
+            pass
+
+
+class _MemmapSegment:
+    """A shared anonymous-file mmap (fallback where shm is unavailable)."""
+
+    kind = "memmap"
+
+    def __init__(self, nbytes: int) -> None:
+        fd, self._path = tempfile.mkstemp(prefix="repro-parallel-")
+        try:
+            os.ftruncate(fd, max(nbytes, 1))
+            self._mmap = mmap.mmap(fd, max(nbytes, 1))  # MAP_SHARED default
+        finally:
+            os.close(fd)
+        self.buf = memoryview(self._mmap)
+
+    def close(self) -> None:
+        try:
+            self.buf.release()
+            self._mmap.close()
+        except BufferError:  # repro-lint: disable=RL009 numpy views handed out earlier may still pin the mapping; park it for process lifetime, the unlink still frees the backing file
+            _PINNED_SEGMENTS.append(self._mmap)
+
+    def unlink(self) -> None:
+        try:
+            os.unlink(self._path)
+        except FileNotFoundError:  # repro-lint: disable=RL009 already unlinked by another releaser; nothing left to free
+            pass
+
+
+def _allocate_segment(nbytes: int, backend: Optional[str] = None):
+    kind = backend or segment_backend()
+    if kind == "shm":
+        return _ShmSegment(nbytes)
+    if kind == "memmap":
+        return _MemmapSegment(nbytes)
+    raise ValueError(f"segment backend must be shm|memmap, got {kind!r}")
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+# ----------------------------------------------------------------------
+# Array blocks
+# ----------------------------------------------------------------------
+class SharedArrayBlock:
+    """Named numpy arrays packed into one shared segment.
+
+    The layout (name → offset/shape/dtype) is computed from template
+    arrays at construction and never changes; the first 64 bytes are an
+    int64 header whose slot 0 is a monotonically increasing **version**
+    bumped by :meth:`write_all`.  Forked children inherit the segment
+    mapping, so parent writes are immediately visible through any view.
+    """
+
+    def __init__(
+        self,
+        templates: Mapping[str, np.ndarray],
+        backend: Optional[str] = None,
+        copy_initial: bool = True,
+    ) -> None:
+        self._layout: Dict[str, Tuple[int, Tuple[int, ...], np.dtype]] = {}
+        offset = _HEADER_BYTES
+        for name, template in templates.items():
+            array = np.asarray(template)
+            self._layout[name] = (offset, array.shape, array.dtype)
+            offset = _aligned(offset + array.nbytes)
+        self.nbytes = offset
+        self._segment = _allocate_segment(offset, backend)
+        self._header: Optional[np.ndarray] = np.frombuffer(
+            self._segment.buf, dtype=np.int64, count=8
+        )
+        self._header[:] = 0
+        if copy_initial:
+            for name, template in templates.items():
+                np.copyto(self.view(name, writable=True), np.asarray(template))
+
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return self._segment.kind
+
+    def names(self) -> List[str]:
+        return list(self._layout)
+
+    def view(self, name: str, writable: bool = False) -> np.ndarray:
+        """A numpy view of ``name``'s slot (read-only unless asked)."""
+        offset, shape, dtype = self._layout[name]
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        array = np.frombuffer(
+            self._segment.buf, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+        if not writable:
+            array.setflags(write=False)
+        return array
+
+    def views(self, writable: bool = False) -> Dict[str, np.ndarray]:
+        return {name: self.view(name, writable) for name in self._layout}
+
+    # ------------------------------------------------------------------
+    def write(self, name: str, array: np.ndarray) -> None:
+        """Copy ``array`` into ``name``'s slot (shape/dtype must match)."""
+        target = self.view(name, writable=True)
+        source = np.asarray(array)
+        if source.shape != target.shape or source.dtype != target.dtype:
+            raise ValueError(
+                f"slot {name!r} holds {target.shape}/{target.dtype}, "
+                f"got {source.shape}/{source.dtype}"
+            )
+        np.copyto(target, source)
+
+    def write_all(self, arrays: Mapping[str, np.ndarray]) -> int:
+        """Copy every array in, then bump and return the version stamp."""
+        missing = set(self._layout) - set(arrays)
+        if missing:
+            raise KeyError(f"missing arrays for slots {sorted(missing)}")
+        assert self._header is not None, "block is closed"
+        for name in self._layout:
+            self.write(name, arrays[name])
+        self._header[0] += 1
+        return int(self._header[0])
+
+    @property
+    def version(self) -> int:
+        assert self._header is not None, "block is closed"
+        return int(self._header[0])
+
+    # ------------------------------------------------------------------
+    def close(self, unlink: bool = True) -> None:
+        """Release this process's mapping (and free the segment)."""
+        self._header = None  # drop our own pin so the unmap can succeed
+        if unlink:
+            self._segment.unlink()
+        self._segment.close()
+
+
+# ----------------------------------------------------------------------
+# Parameter store
+# ----------------------------------------------------------------------
+class SharedParamStore:
+    """Model parameters + per-rank gradient buffers over shared segments.
+
+    Parent side: :meth:`publish_model` copies the authoritative weights
+    into the shared block and returns the new version stamp carried by
+    the dispatch payloads.  Worker side: :meth:`bind_model` repoints each
+    ``param.data`` at a **read-only** view of the segment — done once per
+    (re)spawned worker; every later publish is visible through the same
+    views with no further work.  The read-only flag doubles as an
+    aliasing guard: any op that tried to mutate a parameter in place
+    would raise instead of corrupting the shared weights.
+
+    Gradients use one preallocated buffer per rank with the same layout,
+    so the result payload shrinks to ``(loss, pairs, present names)`` and
+    the parent-side reduction runs over views without copying.
+    """
+
+    def __init__(
+        self,
+        state: Mapping[str, np.ndarray],
+        workers: int,
+        backend: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.params = SharedArrayBlock(state, backend, copy_initial=False)
+        self.params.write_all(state)  # establish version 1
+        self._grads = [
+            SharedArrayBlock(state, backend, copy_initial=False)
+            for _ in range(workers)
+        ]
+        self.workers = int(workers)
+
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> str:
+        return self.params.kind
+
+    @property
+    def version(self) -> int:
+        return self.params.version
+
+    def nbytes(self) -> int:
+        return self.params.nbytes + sum(block.nbytes for block in self._grads)
+
+    # ------------------------------------------------------------------
+    def publish(self, state: Mapping[str, np.ndarray]) -> int:
+        """Copy ``state`` into the shared block; returns the new version."""
+        return self.params.write_all(state)
+
+    def publish_model(self, model: Any) -> int:
+        """Publish straight from ``model``'s parameters (no state-dict
+        copy — one memcpy per parameter into the segment)."""
+        return self.params.write_all(
+            {name: param.data for name, param in model.named_parameters()}
+        )
+
+    def check_version(self, expected: int) -> None:
+        if self.params.version != int(expected):
+            raise StaleParamsError(
+                f"shared parameter segment holds version {self.params.version}, "
+                f"dispatch expected {expected}"
+            )
+
+    def bind_model(self, model: Any) -> None:
+        """Repoint every parameter of ``model`` at its read-only shared
+        view.  Call once per worker (re)spawn; afterwards the views track
+        all future publishes automatically."""
+        views = self.params.views(writable=False)
+        for name, param in model.named_parameters():
+            view = views.get(name)
+            if view is None:
+                raise KeyError(f"model parameter {name!r} has no shared slot")
+            if view.shape != param.data.shape or view.dtype != param.data.dtype:
+                raise ValueError(
+                    f"shared slot {name!r} holds {view.shape}/{view.dtype}, "
+                    f"model expects {param.data.shape}/{param.data.dtype}"
+                )
+            param.data = view
+
+    # ------------------------------------------------------------------
+    def write_grads(
+        self, rank: int, grads: Mapping[str, Optional[np.ndarray]]
+    ) -> List[str]:
+        """Copy this rank's gradients into its shared buffer; returns the
+        names that were present (``None`` gradients are skipped)."""
+        block = self._grads[rank]
+        present: List[str] = []
+        for name, grad in grads.items():
+            if grad is None:
+                continue
+            block.write(name, grad)
+            present.append(name)
+        return present
+
+    def grad_views(
+        self, rank: int, present: Sequence[str]
+    ) -> Dict[str, Optional[np.ndarray]]:
+        """Read-only views of rank ``rank``'s gradient buffer, ``None`` for
+        parameters the shard never touched — the exact shape
+        :func:`repro.parallel.trainer.reduce_gradients` consumes."""
+        block = self._grads[rank]
+        present_set = set(present)
+        return {
+            name: (block.view(name) if name in present_set else None)
+            for name in block.names()
+        }
+
+    # ------------------------------------------------------------------
+    def close(self, unlink: bool = True) -> None:
+        self.params.close(unlink=unlink)
+        for block in self._grads:
+            block.close(unlink=unlink)
+
+
+# ----------------------------------------------------------------------
+# Graph CSR sharing
+# ----------------------------------------------------------------------
+class SharedGraphCSR:
+    """Re-home a graph's CSR adjacency into one shared segment.
+
+    The graph's ``(indptr, indices, edge_ids)`` arrays are copied into a
+    segment and adopted back as read-only views
+    (:meth:`repro.kg.graph.KnowledgeGraph.adopt_csr`), so the parent and
+    every forked worker address the **same physical pages** — no
+    copy-on-write duplication, and respawned workers remap for free by
+    inheriting the parent's (still shared) mapping.
+    """
+
+    def __init__(self, graph: Any, backend: Optional[str] = None) -> None:
+        indptr, indices, edge_ids = graph.csr_arrays()
+        self.block = SharedArrayBlock(
+            {"indptr": indptr, "indices": indices, "edge_ids": edge_ids},
+            backend,
+            copy_initial=True,
+        )
+        views = self.block.views(writable=False)
+        graph.adopt_csr(views["indptr"], views["indices"], views["edge_ids"])
+        self.graph: Optional[Any] = graph
+
+    @property
+    def kind(self) -> str:
+        return self.block.kind
+
+    def nbytes(self) -> int:
+        return self.block.nbytes
+
+    def close(self, unlink: bool = True) -> None:
+        if self.graph is not None:
+            # The graph outlives the pool (the parent keeps evaluating on
+            # it), so hand it back private copies before unmapping — views
+            # into a closed segment would pin the mapping forever.
+            views = self.block.views(writable=False)
+            self.graph.adopt_csr(
+                views["indptr"].copy(),
+                views["indices"].copy(),
+                views["edge_ids"].copy(),
+            )
+            self.graph = None
+        self.block.close(unlink=unlink)

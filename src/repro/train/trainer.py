@@ -41,6 +41,13 @@ class ParallelConfig:
 
     workers: int = 1
     eval_workers: Optional[int] = None  # None = same as ``workers``
+    # Parameter-transport backend for data-parallel training:
+    # ``"pickle"`` ships the full state dict inside every worker payload;
+    # ``"shm"`` publishes weights to a shared-memory segment and stamps
+    # payloads with a param version (zero-copy broadcast, bitwise-equal
+    # checkpoints — see :mod:`repro.parallel.shm`).  ``"auto"`` reads the
+    # ``REPRO_PARALLEL_BACKEND`` env var, defaulting to ``"pickle"``.
+    backend: str = "auto"
     # Fault-tolerance knobs forwarded to the worker pool: how long one
     # task (batch shard / query shard) may run before its worker is deemed
     # wedged and recycled, and how many times a task lost to a worker
@@ -50,6 +57,12 @@ class ParallelConfig:
 
     def resolved_eval_workers(self) -> int:
         return self.workers if self.eval_workers is None else self.eval_workers
+
+    def resolved_backend(self) -> str:
+        """``"pickle"`` or ``"shm"`` (``"auto"`` consults the env)."""
+        from repro.parallel.shm import resolve_backend
+
+        return resolve_backend(self.backend)
 
 
 @dataclass(frozen=True)

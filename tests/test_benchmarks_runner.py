@@ -69,6 +69,23 @@ class TestDeltas:
         with pytest.raises(ValueError):
             MetricSpec("sideways")
 
+    def test_fact_direction_never_regresses(self):
+        """Environment facts (e.g. worker counts) carry their delta but can
+        never be a regression — halving ``workers`` is a different
+        experiment, not a −50% drop on a ``higher`` metric."""
+        specs = {"workers": MetricSpec("fact", threshold_pct=None)}
+        deltas = records.compute_deltas({"workers": 2.0}, {"workers": 4.0}, specs)
+        assert deltas["workers"]["delta_pct"] == pytest.approx(-50.0)
+        assert deltas["workers"]["regression"] is False
+        assert deltas["workers"]["direction"] == "fact"
+        # Regardless of movement direction or a configured threshold.
+        up = records.compute_deltas(
+            {"workers": 8.0},
+            {"workers": 4.0},
+            {"workers": MetricSpec("fact", threshold_pct=1.0)},
+        )
+        assert up["workers"]["regression"] is False
+
 
 # ---------------------------------------------------------------------------
 # Records
@@ -121,6 +138,57 @@ class TestRecords:
             "w", {"a": 1.0}, {}, timestamp="T", smoke=True, rev="abc"
         )
         assert records.baseline_metrics(record) == {"a": 1.0}
+
+    def test_legacy_baseline_identity_is_not_null(self):
+        """Regression: a pre-runner baseline has no version/git_rev/smoke
+        fields; the new record must report a concrete identity instead of
+        ``null``s."""
+        legacy = {"workers": 4, "prepare": {"serial_s": 1.0}}
+        identity = records.baseline_identity(legacy)
+        assert identity == {"version": 0, "git_rev": "pre-runner", "smoke": None}
+        record = records.build_record(
+            "w",
+            {"workers": 4.0},
+            {"workers": MetricSpec("fact", threshold_pct=None)},
+            timestamp="T",
+            smoke=True,
+            baseline=legacy,
+            rev="abc",
+        )
+        assert record["version"] == 1  # legacy counts as v0
+        assert record["baseline"]["version"] == 0
+        assert record["baseline"]["git_rev"] == "pre-runner"
+        report = records.render_report(record)
+        assert "vs baseline v0 (rev pre-runner)" in report
+
+    def test_schema_baseline_identity_passes_through(self):
+        baseline = records.build_record(
+            "w", {"a": 1.0}, {}, timestamp="T", smoke=True, rev="abc"
+        )
+        identity = records.baseline_identity(baseline)
+        assert identity == {"version": 1, "git_rev": "abc", "smoke": True}
+
+    def test_render_report_labels_fact_metrics(self):
+        baseline = records.build_record(
+            "w",
+            {"workers": 4.0},
+            {"workers": MetricSpec("fact", threshold_pct=None)},
+            timestamp="T",
+            smoke=True,
+            rev="abc",
+        )
+        record = records.build_record(
+            "w",
+            {"workers": 2.0},
+            {"workers": MetricSpec("fact", threshold_pct=None)},
+            timestamp="T2",
+            smoke=True,
+            baseline=baseline,
+            rev="def",
+        )
+        report = records.render_report(record)
+        assert "[environment fact]" in report
+        assert "REGRESSION" not in report
 
     def test_write_and_load_round_trip(self, tmp_path):
         record = records.build_record(

@@ -39,6 +39,8 @@ from repro.parallel import (
     WorkerPool,
 )
 from repro.parallel.pool import fork_available, register_op
+from repro.parallel.trainer import DataParallelTrainer
+from repro.train import ParallelConfig, TrainingConfig
 
 from test_parallel_equivalence import (
     TRIPLES,
@@ -271,6 +273,42 @@ class TestPoolChaos:
                 )
         assert plan.fired() == 1
         assert produced == reference
+        assert obs_registry.counter_value("parallel.pool.restarts") == 1
+
+    @pytest.mark.parametrize("backend", ("pickle", "shm"))
+    def test_kill_during_train_step_is_bitwise(
+        self, backend, max_workers, obs_registry
+    ):
+        """Kill a rank mid-``train_step``: the respawned worker must remap
+        the shared segments (shm) or reload broadcast params (pickle) and
+        re-run the lost shard to a **bitwise identical** checkpoint."""
+        workers = capped(2, max_workers)
+        graph = small_graph()
+        train = TripleSet(TRIPLES[:9])
+
+        def fit(plan=None):
+            model = make_model()
+            config = TrainingConfig(
+                epochs=2,
+                batch_size=5,
+                seed=3,
+                parallel=ParallelConfig(workers=workers, backend=backend),
+            )
+            trainer = DataParallelTrainer(model, graph, train, config=config)
+            if plan is None:
+                history = trainer.fit()
+            else:
+                with inject(plan):
+                    history = trainer.fit()
+            return model.state_dict(), history
+
+        reference, reference_history = fit()
+        plan = kill_once("train_step", 1)
+        produced, history = fit(plan)
+        assert plan.fired() == 1, "the mid-step kill never fired"
+        assert history.losses == reference_history.losses
+        for name, value in reference.items():
+            assert np.array_equal(produced[name], value), name
         assert obs_registry.counter_value("parallel.pool.restarts") == 1
 
     def test_injected_op_error_fails_fast_with_provenance(self, obs_registry):

@@ -19,6 +19,8 @@ the CI parallel-and-slow job.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -40,12 +42,19 @@ from repro.parallel import (
     shard_list,
     shard_sizes,
 )
+from repro.parallel.pool import register_op
 from repro.parallel.trainer import DataParallelTrainer
 from repro.serve import ModelRegistry, ServingApp, ServingConfig
 from repro.train import ParallelConfig, TrainingConfig
 from repro.train.trainer import Trainer
 
 pytestmark = pytest.mark.parallel
+
+
+@register_op("parity.tag")
+def _tag_op(state, payload):
+    """Echo (context tag, payload) — exercises fork-time context capture."""
+    return (state["context"]["tag"], payload)
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -151,6 +160,35 @@ class TestWorkerPool:
         pool.close()
         with pytest.raises(RuntimeError):
             pool.run("prepare", [[]])
+
+    def test_concurrent_spawns_keep_contexts_distinct(self, max_workers):
+        """Regression: ``_spawn`` used to publish the module-global
+        ``_FORK_CONTEXT`` without a lock, so two pools forking at the same
+        time could capture each other's context (or ``None``)."""
+        workers = capped(2, max_workers)
+        results = {}
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def launch(tag):
+            try:
+                barrier.wait(timeout=30)
+                with WorkerPool(workers, context={"tag": tag}) as pool:
+                    results[tag] = pool.run("parity.tag", [tag] * workers)
+            except Exception as exc:  # noqa: BLE001 - surfaced via `errors`
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=launch, args=(f"pool-{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert set(results) == {"pool-0", "pool-1"}
+        for tag, produced in results.items():
+            assert produced == [(tag, tag)] * workers
 
 
 # ----------------------------------------------------------------------
@@ -293,6 +331,90 @@ class TestDataParallelGradients:
     def test_reduce_gradients_all_empty(self):
         grads, loss, pairs = reduce_gradients([{"loss": 0.0, "pairs": 0, "grads": {}}])
         assert (grads, loss, pairs) == ({}, 0.0, 0)
+
+    def test_reduce_gradients_mixed_none_and_array_any_order(self):
+        """A parameter one shard never touched must reduce the same no
+        matter which shard reports first (None ≡ implicit zero)."""
+        with_grad = {"loss": 1.0, "pairs": 1, "grads": {"w": np.ones(2)}}
+        without = {"loss": 3.0, "pairs": 1, "grads": {"w": None}}
+        first, loss_a, _ = reduce_gradients([without, with_grad])
+        second, loss_b, _ = reduce_gradients([with_grad, without])
+        np.testing.assert_allclose(first["w"], np.full(2, 0.5))
+        np.testing.assert_allclose(second["w"], first["w"])
+        assert loss_a == pytest.approx(loss_b) == pytest.approx(2.0)
+
+    def test_reduce_gradients_never_mutates_shard_arrays(self):
+        """Aliasing guard: shard gradients may be read-only views of the
+        shm backend's shared buffers — the in-place accumulation must only
+        ever touch parent-owned arrays."""
+        grad_a = np.ones(3)
+        grad_b = np.full(3, 5.0)
+        grad_a.setflags(write=False)  # a write would raise, like shm views
+        grad_b.setflags(write=False)
+        shards = [
+            {"loss": 1.0, "pairs": 1, "grads": {"w": grad_a}},
+            {"loss": 2.0, "pairs": 3, "grads": {"w": grad_b}},
+        ]
+        grads, _, _ = reduce_gradients(shards)
+        np.testing.assert_allclose(grads["w"], np.full(3, 4.0))
+        np.testing.assert_array_equal(grad_a, np.ones(3))
+        np.testing.assert_array_equal(grad_b, np.full(3, 5.0))
+        assert grads["w"] is not grad_a and grads["w"] is not grad_b
+
+
+# ----------------------------------------------------------------------
+class TestBackendParity:
+    """The zero-copy gate: pickle and shm parameter transport must produce
+    **bitwise identical** training, because the workers compute on the same
+    parameter values through the same ops either way."""
+
+    def _fit(self, workers, backend, dropout=0.0):
+        graph = small_graph()
+        train = TripleSet(TRIPLES[:9])
+        config = TrainingConfig(
+            epochs=2,
+            batch_size=5,
+            seed=3,
+            parallel=ParallelConfig(workers=workers, backend=backend),
+        )
+        model = make_model(dropout=dropout)
+        history = DataParallelTrainer(model, graph, train, config=config).fit()
+        return model.state_dict(), history
+
+    def _assert_states_bitwise(self, reference, produced):
+        assert set(reference) == set(produced)
+        for name in reference:
+            assert np.array_equal(produced[name], reference[name]), name
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_checkpoints_bitwise_identical(self, workers, max_workers):
+        workers = capped(workers, max_workers)
+        pickle_state, pickle_history = self._fit(workers, "pickle")
+        shm_state, shm_history = self._fit(workers, "shm")
+        assert pickle_history.losses == shm_history.losses  # exact, not approx
+        self._assert_states_bitwise(pickle_state, shm_state)
+
+    def test_parity_holds_with_dropout(self, max_workers):
+        # Dropout draws from per-rank RNG streams that are independent of
+        # the parameter transport, so parity stays bitwise.
+        workers = capped(2, max_workers)
+        pickle_state, _ = self._fit(workers, "pickle", dropout=0.3)
+        shm_state, _ = self._fit(workers, "shm", dropout=0.3)
+        self._assert_states_bitwise(pickle_state, shm_state)
+
+    def test_shm_rerun_is_bitwise_deterministic(self, max_workers):
+        workers = capped(2, max_workers)
+        first_state, first_history = self._fit(workers, "shm", dropout=0.3)
+        second_state, second_history = self._fit(workers, "shm", dropout=0.3)
+        assert first_history.losses == second_history.losses
+        self._assert_states_bitwise(first_state, second_state)
+
+    def test_env_var_drives_auto_backend(self, monkeypatch, max_workers):
+        workers = capped(2, max_workers)
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "shm")
+        auto_state, _ = self._fit(workers, "auto")
+        explicit_state, _ = self._fit(workers, "shm")
+        self._assert_states_bitwise(explicit_state, auto_state)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,320 @@
+"""Unit suite for :mod:`repro.parallel.shm` (zero-copy transport).
+
+Covers the shared segments in-process: block layout/round-trips, version
+stamping, the read-only aliasing guard, backend resolution (explicit vs
+``REPRO_PARALLEL_BACKEND``), the parameter store's publish/bind/check
+protocol, and CSR adoption into (and back out of) a shared segment.  The
+cross-process behaviour — bitwise backend parity under real forked
+workers — lives in ``tests/test_parallel_equivalence.py`` and
+``tests/test_faults.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg import KnowledgeGraph, TripleSet
+from repro.parallel.shm import (
+    BACKEND_ENV_VAR,
+    SharedArrayBlock,
+    SharedGraphCSR,
+    SharedParamStore,
+    StaleParamsError,
+    resolve_backend,
+    segment_backend,
+    shm_available,
+)
+
+from test_parallel_equivalence import TRIPLES, make_model, small_graph
+
+#: Both segment flavours are exercised on every platform that has shm;
+#: the memmap fallback must stay correct even where shm exists.
+BACKENDS = ("shm", "memmap") if shm_available() else ("memmap",)
+
+
+def templates():
+    return {
+        "w": np.arange(6, dtype=np.float32).reshape(2, 3),
+        "b": np.full(4, 2.5, dtype=np.float32),
+    }
+
+
+# ----------------------------------------------------------------------
+class TestResolveBackend:
+    def test_explicit_values_pass_through(self):
+        assert resolve_backend("pickle") == "pickle"
+        assert resolve_backend("shm") == "shm"
+        assert resolve_backend(" SHM ") == "shm"
+
+    def test_auto_defaults_to_pickle(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend("auto") == "pickle"
+        assert resolve_backend(None) == "pickle"
+
+    def test_auto_reads_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "shm")
+        assert resolve_backend("auto") == "shm"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "pickle")
+        assert resolve_backend("auto") == "pickle"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "shm")
+        assert resolve_backend("pickle") == "pickle"
+
+    def test_invalid_values_raise(self, monkeypatch):
+        with pytest.raises(ValueError, match="auto|pickle|shm"):
+            resolve_backend("zero-copy")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "nonsense")
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            resolve_backend("auto")
+
+    def test_segment_backend_is_known(self):
+        assert segment_backend() in ("shm", "memmap")
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSharedArrayBlock:
+    def test_round_trip(self, backend):
+        block = SharedArrayBlock(templates(), backend=backend)
+        try:
+            assert block.kind == backend
+            assert set(block.names()) == {"w", "b"}
+            np.testing.assert_array_equal(block.view("w"), templates()["w"])
+            np.testing.assert_array_equal(block.view("b"), templates()["b"])
+        finally:
+            block.close()
+
+    def test_views_are_read_only(self, backend):
+        block = SharedArrayBlock(templates(), backend=backend)
+        try:
+            view = block.view("w")
+            with pytest.raises(ValueError):
+                view[0, 0] = 99.0
+            # A writable view is an explicit opt-in and lands in the block.
+            block.view("w", writable=True)[0, 0] = 7.0
+            assert block.view("w")[0, 0] == 7.0
+        finally:
+            block.close()
+
+    def test_write_all_bumps_version(self, backend):
+        block = SharedArrayBlock(templates(), backend=backend, copy_initial=False)
+        try:
+            assert block.version == 0
+            assert block.write_all(templates()) == 1
+            assert block.write_all(templates()) == 2
+            assert block.version == 2
+        finally:
+            block.close()
+
+    def test_write_validates_shape_and_dtype(self, backend):
+        block = SharedArrayBlock(templates(), backend=backend)
+        try:
+            with pytest.raises(ValueError, match="slot"):
+                block.write("w", np.zeros((3, 2), dtype=np.float32))
+            with pytest.raises(ValueError, match="slot"):
+                block.write("w", np.zeros((2, 3), dtype=np.float64))
+            with pytest.raises(KeyError):
+                block.view("nope")
+        finally:
+            block.close()
+
+    def test_write_all_requires_every_slot(self, backend):
+        block = SharedArrayBlock(templates(), backend=backend)
+        try:
+            with pytest.raises(KeyError, match="missing"):
+                block.write_all({"w": templates()["w"]})
+        finally:
+            block.close()
+
+    def test_writes_are_visible_through_old_views(self, backend):
+        """The zero-copy contract: a view taken before a publish sees the
+        new bytes (same physical pages, no re-binding needed)."""
+        block = SharedArrayBlock(templates(), backend=backend)
+        try:
+            view = block.view("b")
+            block.write("b", np.full(4, -1.0, dtype=np.float32))
+            np.testing.assert_array_equal(view, np.full(4, -1.0, dtype=np.float32))
+        finally:
+            block.close()
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSharedParamStore:
+    def _state(self):
+        return dict(make_model().state_dict())
+
+    def test_publish_and_views(self, backend):
+        state = self._state()
+        store = SharedParamStore(state, workers=2, backend=backend)
+        try:
+            assert store.version == 1  # construction publishes once
+            for name, array in state.items():
+                np.testing.assert_array_equal(store.params.view(name), array)
+            assert store.publish(state) == 2
+            assert store.nbytes() > 0
+        finally:
+            store.close()
+
+    def test_check_version_raises_on_mismatch(self, backend):
+        store = SharedParamStore(self._state(), workers=1, backend=backend)
+        try:
+            store.check_version(1)
+            with pytest.raises(StaleParamsError, match="version"):
+                store.check_version(2)
+        finally:
+            store.close()
+
+    def test_publish_model_tracks_parameter_updates(self, backend):
+        model = make_model()
+        store = SharedParamStore(model.state_dict(), workers=1, backend=backend)
+        try:
+            name, param = next(iter(model.named_parameters()))
+            view = store.params.view(name)
+            param.data = param.data + 1.0
+            assert not np.array_equal(view, param.data)
+            version = store.publish_model(model)
+            assert version == 2
+            np.testing.assert_array_equal(view, param.data)
+        finally:
+            store.close()
+
+    def test_bind_model_installs_read_only_views(self, backend):
+        model = make_model()
+        store = SharedParamStore(model.state_dict(), workers=1, backend=backend)
+        try:
+            bound = make_model()
+            store.bind_model(bound)
+            for name, param in bound.named_parameters():
+                assert not param.data.flags.writeable
+                np.testing.assert_array_equal(
+                    param.data, dict(model.named_parameters())[name].data
+                )
+            # Later publishes are visible through the bound parameters
+            # with no rebinding.
+            model.parameters()[0].data = model.parameters()[0].data * 2.0
+            store.publish_model(model)
+            first_name = next(iter(dict(model.named_parameters())))
+            np.testing.assert_array_equal(
+                dict(bound.named_parameters())[first_name].data,
+                dict(model.named_parameters())[first_name].data,
+            )
+        finally:
+            store.close()
+
+    def test_bind_model_rejects_foreign_model(self, backend):
+        store = SharedParamStore(self._state(), workers=1, backend=backend)
+        try:
+            foreign = make_model()
+            foreign_params = dict(foreign.named_parameters())
+            name = next(iter(foreign_params))
+            foreign_params[name].data = np.zeros(3, dtype=np.float32)
+            with pytest.raises(ValueError, match="shared slot"):
+                store.bind_model(foreign)
+        finally:
+            store.close()
+
+    def test_grad_round_trip(self, backend):
+        state = self._state()
+        store = SharedParamStore(state, workers=2, backend=backend)
+        try:
+            names = list(state)
+            grads = {name: None for name in names}
+            grads[names[0]] = np.ones_like(state[names[0]])
+            present = store.write_grads(1, grads)
+            assert present == [names[0]]
+            views = store.grad_views(1, present)
+            assert set(views) == set(names)
+            np.testing.assert_array_equal(views[names[0]], grads[names[0]])
+            assert all(views[name] is None for name in names[1:])
+            assert not views[names[0]].flags.writeable
+        finally:
+            store.close()
+
+    def test_rejects_bad_worker_count(self, backend):
+        with pytest.raises(ValueError, match="workers"):
+            SharedParamStore(self._state(), workers=0, backend=backend)
+
+
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSharedGraphCSR:
+    def test_adoption_preserves_neighbourhoods(self, backend):
+        reference = small_graph()
+        graph = small_graph()
+        shared = SharedGraphCSR(graph, backend=backend)
+        try:
+            assert shared.nbytes() > 0
+            for entity in range(graph.num_entities):
+                assert sorted(graph.incident_edges(entity)) == sorted(
+                    reference.incident_edges(entity)
+                )
+        finally:
+            shared.close()
+
+    def test_close_hands_back_private_arrays(self, backend):
+        graph = small_graph()
+        shared = SharedGraphCSR(graph, backend=backend)
+        shared.close()
+        # The graph outlives the segment: adjacency still answers, from
+        # private copies rather than views into an unmapped segment.
+        reference = small_graph()
+        for entity in range(graph.num_entities):
+            assert sorted(graph.incident_edges(entity)) == sorted(
+                reference.incident_edges(entity)
+            )
+
+
+# ----------------------------------------------------------------------
+class TestAdoptCSRValidation:
+    def _csr(self):
+        graph = small_graph()
+        return graph, graph.csr_arrays()
+
+    def test_round_trip_accepts_own_arrays(self):
+        graph, (indptr, indices, edge_ids) = self._csr()
+        graph.adopt_csr(indptr.copy(), indices.copy(), edge_ids.copy())
+        reference = small_graph()
+        for entity in range(graph.num_entities):
+            assert sorted(graph.incident_edges(entity)) == sorted(
+                reference.incident_edges(entity)
+            )
+
+    def test_rejects_wrong_indptr_length(self):
+        graph, (indptr, indices, edge_ids) = self._csr()
+        with pytest.raises(ValueError):
+            graph.adopt_csr(indptr[:-1].copy(), indices, edge_ids)
+
+    def test_rejects_mismatched_lengths(self):
+        graph, (indptr, indices, edge_ids) = self._csr()
+        with pytest.raises(ValueError):
+            graph.adopt_csr(indptr, indices[:-1].copy(), edge_ids)
+
+    def test_rejects_inconsistent_indptr(self):
+        graph, (indptr, indices, edge_ids) = self._csr()
+        bad = indptr.copy()
+        bad[-1] = len(indices) + 5
+        with pytest.raises(ValueError):
+            graph.adopt_csr(bad, indices, edge_ids)
+
+
+# ----------------------------------------------------------------------
+class TestStoreWithTriples:
+    """Smoke the store against the graph fixture the parity suite uses."""
+
+    def test_store_layout_matches_model(self):
+        model = make_model()
+        graph = KnowledgeGraph(TripleSet(TRIPLES), num_entities=6, num_relations=7)
+        model.score_triples(graph, TRIPLES[:2])  # materialise lazy params
+        store = SharedParamStore(model.state_dict(), workers=2)
+        try:
+            bound = make_model()
+            bound.score_triples(graph, TRIPLES[:2])
+            store.bind_model(bound)
+            produced = bound.score_triples(graph, TRIPLES[:3])
+            reference = model.score_triples(graph, TRIPLES[:3])
+            np.testing.assert_array_equal(produced, reference)
+        finally:
+            store.close()
